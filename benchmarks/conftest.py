@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables/figures
+through pytest-benchmark.  Benchmarks run at "smoke" quality so the whole
+suite stays interactive; use the ``concord-repro`` CLI with
+``--quality full`` for the numbers recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="session")
+def quality():
+    return "smoke"
+
+
+def run_once(benchmark, experiment_id, quality):
+    """Benchmark one experiment with a single round: the experiments are
+    deterministic simulations, so repeated rounds only repeat identical
+    work."""
+    return benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"quality": quality},
+        rounds=1,
+        iterations=1,
+    )
+
+
+def assert_summary(results, key_substring):
+    """Find a summary entry whose key contains ``key_substring`` across a
+    list of ExperimentResults; returns (key, value) of the first match."""
+    for result in results:
+        for key, value in result.summary.items():
+            if key_substring in key:
+                return key, value
+    raise AssertionError(
+        "no summary key containing {!r} in {}".format(
+            key_substring, [list(r.summary) for r in results]
+        )
+    )

@@ -1,0 +1,41 @@
+"""Benchmarks: the extension experiments (JBSQ depth, SRPT, safety)."""
+
+from conftest import run_once
+
+
+def test_ext_jbsq(benchmark, quality):
+    results = run_once(benchmark, "ext-jbsq", quality)
+    summary = results[0].summary
+    # k=2 removes nearly all handoff idle time vs k=1 (section 3.2).
+    assert summary["idle_reduction_k1_to_k2_pct"] > 2
+    # Deeper queues only hurt the tail.
+    assert summary["tail_penalty_k6_vs_k2"] > -1
+
+
+def test_ext_policies(benchmark, quality):
+    results = run_once(benchmark, "ext-policies", quality)
+    summary = results[0].summary
+    # SRPT serves the short class at least as well as FCFS+PS.
+    assert summary["short_p999_srpt"] <= 1.1 * summary["short_p999_fcfs"]
+
+
+def test_ext_safety(benchmark, quality):
+    results = run_once(benchmark, "ext-safety", quality)
+    summary = results[0].summary
+    # API-window preemption disabling cripples Shinjuku on the 100us-GET
+    # microbenchmark; Concord's lock counter keeps preemption timely.
+    assert (
+        summary["knee_krps[Concord]"] > 2 * summary["knee_krps[Shinjuku]"]
+    )
+
+
+def test_ext_scaling(benchmark, quality):
+    results = run_once(benchmark, "ext-scaling", quality)
+    fixed, dispersion = results
+    # Both section-6 designs push past the single dispatcher's ceiling.
+    single = fixed.summary["single_dispatcher_sustained_mrps"]
+    assert fixed.summary["replicated_sustained_mrps"] > single
+    assert fixed.summary["logical_queue_sustained_mrps"] > single
+    # But global visibility still balances heavy tails better.
+    assert dispersion.summary["logical_p999"] > 0
+    assert dispersion.summary["physical_p999"] > 0

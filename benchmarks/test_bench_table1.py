@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (instrumentation overhead & timeliness)."""
+
+from conftest import run_once
+
+
+def test_table1(benchmark, quality):
+    results = run_once(benchmark, "table1", quality)
+    summary = results[0].summary
+    # Aggregate claims of Table 1: Concord's mean overhead is ~1% and far
+    # below Compiler Interrupts'; some entries are negative (unrolling);
+    # preemption-timeliness sigma < 2us for every benchmark.
+    assert -1.0 < summary["concord_mean_overhead_pct"] < 3.0
+    assert summary["ci_mean_overhead_pct"] > 5 * max(
+        0.1, summary["concord_mean_overhead_pct"]
+    )
+    assert summary["kernels_with_negative_concord_overhead"] >= 1
+    assert summary["max_std_us"] < 2.0
+    assert summary["concord_max_overhead_pct"] < 10.0

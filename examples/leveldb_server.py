@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""LevelDB server example (section 5.3).
+
+Combines the two halves of this reproduction:
+
+1. *Functional*: builds a real LevelDB-like store through the Concord API
+   (setup / setup_worker / handle_request), populates it with 15,000 keys,
+   and executes actual GET/PUT/SCAN requests against it.
+2. *Timing*: serves the paper's ZippyDB production mix (78% GET, 13% PUT,
+   6% DELETE, 3% SCAN) on the simulated Concord and Shinjuku runtimes with
+   their respective safety-first preemption models, and reports the tail.
+
+Run:  python examples/leveldb_server.py
+"""
+
+import random
+
+from repro.core import Server, concord, shinjuku
+from repro.hardware import c6420
+from repro.kvstore import (
+    LevelDBApp,
+    concord_lock_counter_safety,
+    shinjuku_api_window_safety,
+)
+from repro.metrics import summarize_slowdowns
+from repro.workloads import PoissonProcess, leveldb_zippydb
+
+
+def functional_demo():
+    print("== functional: real store through the Concord API ==")
+    app = LevelDBApp(num_keys=15_000)
+    app.setup()
+    for core in range(4):
+        app.setup_worker(core)
+
+    rng = random.Random(7)
+    sample_key = app.key_for(rng.randrange(app.num_keys))
+    get = app.handle_request({"op": "GET", "key": sample_key})
+    print("GET {!r} -> {!r}".format(sample_key, get["value"]))
+
+    app.handle_request({"op": "PUT", "key": b"hot-key", "value": b"v2"})
+    scan = app.handle_request(
+        {"op": "SCAN", "start": b"key00000000", "end": b"key00000005"}
+    )
+    print("SCAN first 5 keys -> {} rows".format(len(scan["rows"])))
+    app.handle_request({"op": "DELETE", "key": b"hot-key"})
+    print("store stats: {}".format(app.db.stats()))
+    print("requests handled functionally: {}\n".format(app.requests_handled))
+
+
+def timing_demo():
+    print("== timing: ZippyDB mix on the simulated runtimes ==")
+    machine = c6420()
+    workload = leveldb_zippydb()
+    load_rps = 0.7 * machine.num_workers * 1e6 / workload.mean_us()
+    print("offered load: {:.0f} kRps ({} mean {:.3g} us)\n".format(
+        load_rps / 1e3, workload.name, workload.mean_us()))
+    configs = [
+        shinjuku(5.0, safety=shinjuku_api_window_safety()),
+        concord(5.0, safety=concord_lock_counter_safety()),
+    ]
+    for config in configs:
+        server = Server(machine, config, seed=11)
+        result = server.run(workload, PoissonProcess(load_rps), 25_000)
+        summary = summarize_slowdowns(result.slowdowns())
+        by_kind = {}
+        for record in result.measured_records():
+            by_kind.setdefault(record.kind, []).append(record.slowdown())
+        print("{:10s}  overall p99.9 slowdown {:7.2f}".format(
+            config.name, summary.p999))
+        for kind in sorted(by_kind):
+            kind_summary = summarize_slowdowns(by_kind[kind])
+            print("            {:7s} p99.9 {:8.2f}  (n={})".format(
+                kind, kind_summary.p999, kind_summary.count))
+    print("\nPreemption keeps 600ns GETs from stalling behind 500us SCANs;"
+          "\nConcord does it with an ~8x cheaper notification (section 3.1).")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    timing_demo()

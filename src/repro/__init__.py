@@ -1,0 +1,32 @@
+"""Reproduction of "Achieving Microsecond-Scale Tail Latency Efficiently
+with Approximate Optimal Scheduling" (Concord, SOSP 2023).
+
+The package rebuilds the paper's entire system as a cycle-granular
+discrete-event simulation plus functional substrates:
+
+* :mod:`repro.core` — the Concord runtime, its baselines (Shinjuku,
+  Persephone-FCFS), and the section-6 scalability designs;
+* :mod:`repro.instrument` — the compiler-instrumentation pipeline
+  (IR, probe passes, interpreter, profiles, Table-1 kernels);
+* :mod:`repro.kvstore` — a LevelDB-like store with the paper's service
+  time model and safety-first preemption variants;
+* :mod:`repro.workloads`, :mod:`repro.hardware`, :mod:`repro.sim`,
+  :mod:`repro.models`, :mod:`repro.metrics` — substrates and tooling;
+* :mod:`repro.experiments` — one generator per paper table/figure
+  (CLI: ``concord-repro``).
+
+Quickstart::
+
+    from repro.core import Server, concord
+    from repro.hardware import c6420
+    from repro.workloads import PoissonProcess, bimodal_995_05_500
+
+    server = Server(c6420(), concord(quantum_us=5.0), seed=1)
+    result = server.run(bimodal_995_05_500(), PoissonProcess(2e6), 20_000)
+
+See README.md, DESIGN.md, and docs/ for the full story.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,68 @@
+"""The paper's contribution: the Concord scheduling runtime and baselines.
+
+The package builds an event-driven model of a single-server dataplane OS in
+the style of Shinjuku/Persephone (one dispatcher thread + n worker threads,
+section 2.1) and layers Concord's three mechanisms on top:
+
+* compiler-enforced cooperation (section 3.1) — cache-line preemption
+  signals with instrumentation-derived notice latency;
+* JBSQ(k) bounded per-worker queues (section 3.2);
+* the work-conserving dispatcher (section 3.3).
+
+Configuration presets in :mod:`repro.core.presets` reconstruct Concord,
+Shinjuku, Persephone-FCFS, and the ablation variants of Figs. 11/12.
+"""
+
+from repro.core.request import Request
+from repro.core.policies import FCFSPolicy, SRPTPolicy, make_policy
+from repro.core.preemption import (
+    CacheLineCooperation,
+    NoPreemption,
+    PostedIPI,
+    LinuxIPI,
+    RdtscSelfPreemption,
+    UserIPI,
+)
+from repro.core.config import RuntimeConfig, SafetyModel
+from repro.core.presets import (
+    concord,
+    concord_no_steal,
+    coop_jbsq,
+    coop_single_queue,
+    ideal_single_queue,
+    persephone_fcfs,
+    shinjuku,
+)
+from repro.core.server import Server, SimResult
+from repro.core.logicalqueue import LogicalQueueServer, logical_queue_concord
+from repro.core.replicated import ReplicatedServer
+from repro.core.api import Application, SyntheticApp
+
+__all__ = [
+    "Request",
+    "FCFSPolicy",
+    "SRPTPolicy",
+    "make_policy",
+    "CacheLineCooperation",
+    "NoPreemption",
+    "PostedIPI",
+    "LinuxIPI",
+    "RdtscSelfPreemption",
+    "UserIPI",
+    "RuntimeConfig",
+    "SafetyModel",
+    "concord",
+    "concord_no_steal",
+    "coop_jbsq",
+    "coop_single_queue",
+    "ideal_single_queue",
+    "persephone_fcfs",
+    "shinjuku",
+    "Server",
+    "SimResult",
+    "LogicalQueueServer",
+    "logical_queue_concord",
+    "ReplicatedServer",
+    "Application",
+    "SyntheticApp",
+]

@@ -1,0 +1,59 @@
+"""Concord's application-facing API (section 4.1).
+
+The paper's runtime exposes exactly three callbacks::
+
+    setup()                         # global application state
+    setup_worker(core_num)          # per-worker state
+    handle_request(request) -> response
+
+:class:`Application` mirrors that contract.  In this reproduction the
+simulation derives *timing* from the workload model, while applications
+still *execute* functionally — e.g. the LevelDB app in
+:mod:`repro.kvstore.app` runs real GET/PUT/SCAN operations against a real
+store.  An application may also refine timing via :meth:`service_time_us`.
+"""
+
+__all__ = ["Application", "SyntheticApp"]
+
+
+class Application:
+    """Base class for applications served by the simulated runtime."""
+
+    def setup(self):
+        """Initialize global application state (called once)."""
+
+    def setup_worker(self, core_num):
+        """Initialize per-worker state (called once per worker thread)."""
+
+    def handle_request(self, request):
+        """Process a single request and return the response payload.
+
+        A request is only processed by a single thread at any point in
+        time, though preemption may spread its execution across threads.
+        """
+        raise NotImplementedError
+
+    def service_time_us(self, kind, sampled_us, rng):
+        """Optionally refine the workload's sampled service time for a
+        request of ``kind``.  The default trusts the workload model."""
+        return sampled_us
+
+
+class SyntheticApp(Application):
+    """The paper's synthetic server: spins for the time each request asks
+    for (section 5.1).  ``handle_request`` just echoes the payload, since
+    spinning is what the simulator's timing model represents."""
+
+    def __init__(self):
+        self.requests_handled = 0
+        self.workers_seen = set()
+
+    def setup(self):
+        self.requests_handled = 0
+
+    def setup_worker(self, core_num):
+        self.workers_seen.add(core_num)
+
+    def handle_request(self, request):
+        self.requests_handled += 1
+        return {"rid": getattr(request, "rid", None), "status": "ok"}

@@ -1,0 +1,162 @@
+"""Configuration presets for the systems the paper evaluates.
+
+* :func:`shinjuku` — single physical queue + posted-IPI preemption (the
+  NSDI '19 system, the paper's primary baseline).
+* :func:`persephone_fcfs` — single queue, run-to-completion C-FCFS (the
+  low-dispersion baseline, section 5.1).
+* :func:`concord` — all three mechanisms: compiler-enforced cooperation,
+  JBSQ(2), work-conserving dispatcher.
+* :func:`coop_single_queue`, :func:`coop_jbsq`, :func:`concord_no_steal` —
+  the cumulative ablation variants of Figs. 11 and 12.
+* :func:`ideal_single_queue` — the zero-overhead queueing model of Fig. 5.
+"""
+
+from repro import constants
+from repro.core.config import NoSafety, RuntimeConfig
+from repro.core.preemption import (
+    CacheLineCooperation,
+    HalfNormalNotice,
+    PostedIPI,
+    RdtscSelfPreemption,
+    UserIPI,
+)
+
+__all__ = [
+    "shinjuku",
+    "persephone_fcfs",
+    "concord",
+    "concord_no_steal",
+    "coop_single_queue",
+    "coop_jbsq",
+    "rdtsc_single_queue",
+    "uipi_single_queue",
+    "ideal_single_queue",
+]
+
+
+def shinjuku(quantum_us=5.0, safety=None, policy="fcfs"):
+    """Shinjuku: dedicated dispatcher, pull-based single queue, preemption
+    via posted IPIs (sections 2.2, 5.1)."""
+    return RuntimeConfig(
+        name="Shinjuku",
+        queue_mode="sq",
+        quantum_us=quantum_us,
+        preemption_factory=lambda machine: PostedIPI(),
+        safety=safety or NoSafety(),
+        policy=policy,
+    )
+
+
+def persephone_fcfs():
+    """Persephone configured as C-FCFS: single queue, no preemption
+    (section 5.1, "Persephone-FCFS").  Its dispatch loop is slightly
+    heavier than Shinjuku's (it is built to classify requests)."""
+    return RuntimeConfig(
+        name="Persephone-FCFS",
+        queue_mode="sq",
+        quantum_us=None,
+        dispatch_cost_scale=1.1,
+    )
+
+
+def concord(quantum_us=5.0, jbsq_depth=constants.DEFAULT_JBSQ_DEPTH,
+            safety=None, policy="fcfs", profile=None, locality_aware=False):
+    """Concord: compiler-enforced cooperation + JBSQ(k) + work-conserving
+    dispatcher (section 3).  ``locality_aware`` additionally routes
+    preempted requests back to their previous core (section 3.1)."""
+    return RuntimeConfig(
+        name="Concord",
+        queue_mode="jbsq",
+        jbsq_depth=jbsq_depth,
+        quantum_us=quantum_us,
+        preemption_factory=lambda machine: CacheLineCooperation(
+            profile=profile, coherence=machine.coherence
+        ),
+        work_conserving_dispatcher=True,
+        safety=safety or NoSafety(),
+        policy=policy,
+        locality_aware=locality_aware,
+    )
+
+
+def concord_no_steal(quantum_us=5.0, jbsq_depth=constants.DEFAULT_JBSQ_DEPTH,
+                     safety=None, profile=None):
+    """Concord with the dispatcher's work stealing disabled — the fallback
+    section 5.5 offers users who cannot tolerate the low-load slowdown
+    bump.  Identical to the Co-op+JBSQ(2) ablation point."""
+    config = concord(quantum_us, jbsq_depth, safety=safety, profile=profile)
+    return config.replace(
+        name="Concord w/o dispatcher work", work_conserving_dispatcher=False
+    )
+
+
+def coop_single_queue(quantum_us=5.0, safety=None, profile=None):
+    """Ablation step 1 (Figs. 11/12, "Co-op+SQ"): Shinjuku's single queue
+    with IPIs swapped for compiler-enforced cooperation."""
+    return RuntimeConfig(
+        name="Co-op+SQ",
+        queue_mode="sq",
+        quantum_us=quantum_us,
+        preemption_factory=lambda machine: CacheLineCooperation(
+            profile=profile, coherence=machine.coherence
+        ),
+        safety=safety or NoSafety(),
+    )
+
+
+def coop_jbsq(quantum_us=5.0, jbsq_depth=constants.DEFAULT_JBSQ_DEPTH,
+              safety=None, profile=None):
+    """Ablation step 2 (Figs. 11/12, "Co-op+JBSQ(2)"): cooperation plus
+    bounded per-worker queues, no dispatcher work."""
+    config = concord_no_steal(quantum_us, jbsq_depth, safety=safety,
+                              profile=profile)
+    return config.replace(name="Co-op+JBSQ(2)")
+
+
+def rdtsc_single_queue(quantum_us=5.0):
+    """Compiler Interrupts-style rdtsc() self-preemption on a single queue
+    (the 'rdtsc() instrumentation' line of Figs. 2 and 15)."""
+    return RuntimeConfig(
+        name="rdtsc-instrumentation",
+        queue_mode="sq",
+        quantum_us=quantum_us,
+        preemption_factory=lambda machine: RdtscSelfPreemption(),
+    )
+
+
+def uipi_single_queue(quantum_us=5.0):
+    """Intel user-space IPIs on a single queue (Fig. 15)."""
+    return RuntimeConfig(
+        name="User-space IPIs",
+        queue_mode="sq",
+        quantum_us=quantum_us,
+        preemption_factory=lambda machine: UserIPI(coherence=machine.coherence),
+    )
+
+
+def ideal_single_queue(quantum_us=None, notice_sigma_us=0.0, name=None):
+    """The pure queueing model of Fig. 5: a zero-overhead single queue with
+    either no preemption (``quantum_us=None``), precise preemption
+    (``notice_sigma_us=0``), or preemption lagged by a one-sided Normal
+    with the given standard deviation."""
+    if quantum_us is None:
+        return RuntimeConfig(
+            name=name or "Single Queue (no preemption)",
+            queue_mode="sq",
+            ideal=True,
+        )
+
+    def factory(machine):
+        sigma_cycles = machine.clock.us_to_cycles(notice_sigma_us)
+        return CacheLineCooperation(
+            notice=HalfNormalNotice(sigma_cycles), proc_overhead=0.0
+        )
+
+    default = "Preemption N({:g},{:g})".format(quantum_us, notice_sigma_us)
+    return RuntimeConfig(
+        name=name or default,
+        queue_mode="sq",
+        quantum_us=quantum_us,
+        preemption_factory=factory,
+        ideal=True,
+    )

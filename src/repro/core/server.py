@@ -1,0 +1,372 @@
+"""Server assembly: machine + runtime config + workload -> simulation run.
+
+A :class:`Server` wires the dispatcher and workers onto a machine spec,
+generates open-loop arrivals, runs the event loop to completion, and returns
+a :class:`SimResult` with every completed request plus agent-level counters.
+Servers are single-shot: build a fresh one per simulated run (they are cheap).
+"""
+
+from repro import constants
+from repro.core.dispatcher import Dispatcher
+from repro.core.policies import make_policy
+from repro.core.preemption import NoPreemption
+from repro.core.request import Request
+from repro.core.worker import Worker
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Server", "SimResult", "RunLimitExceeded"]
+
+
+class RunLimitExceeded(RuntimeError):
+    """The event budget ran out before the simulation drained."""
+
+
+class _Costs:
+    """Per-run cycle costs, precomputed from machine + config + mechanism."""
+
+    __slots__ = (
+        "context_switch",
+        "disruption",
+        "jbsq_residual",
+        "signal",
+        "requeue",
+        "rx",
+        "push",
+        "jbsq_scan",
+        "sq_receive",
+    )
+
+    def __init__(self, machine, config, mechanism):
+        if config.ideal:
+            for slot in self.__slots__:
+                setattr(self, slot, 0)
+            return
+        scale = config.dispatch_cost_scale
+        jbsq = config.queue_mode == "jbsq"
+        self.context_switch = mechanism.context_switch_cycles
+        self.disruption = mechanism.worker_disruption_cycles
+        self.jbsq_residual = constants.JBSQ_RESIDUAL_CYCLES if jbsq else 0
+        self.signal = int(mechanism.dispatcher_signal_cycles * scale)
+        self.requeue = int(constants.DISPATCH_REQUEUE_CYCLES * scale)
+        rx = (
+            config.rx_cost_cycles
+            if config.rx_cost_cycles is not None
+            else constants.DISPATCH_RX_CYCLES
+        )
+        self.rx = int(rx * scale)
+        self.push = int(constants.DISPATCH_PUSH_CYCLES * scale)
+        self.jbsq_scan = constants.JBSQ_SHORTEST_QUEUE_CYCLES if jbsq else 0
+        # The worker's receive miss applies whenever a push lands on an
+        # *idle* worker — in JBSQ too (this is why JBSQ(1) behaves like the
+        # single queue, section 3.2).  Busy JBSQ workers hide it entirely.
+        self.sq_receive = constants.SQ_WORKER_RECEIVE_CYCLES
+
+
+class SimResult:
+    """Everything measured during one simulated run."""
+
+    def __init__(self, server, num_offered, first_arrival, last_arrival,
+                 end_cycle, drained):
+        self.config_name = server.config.name
+        self.quantum_us = server.config.quantum_us
+        self.clock = server.clock
+        self.num_offered = num_offered
+        self.first_arrival_cycle = first_arrival
+        self.last_arrival_cycle = last_arrival
+        self.end_cycle = end_cycle
+        self.drained = drained
+        #: Completed requests, in completion order.
+        self.records = server.completed
+        self.worker_stats = [
+            {
+                "wid": w.wid,
+                "idle_cycles": w.idle_cycles,
+                "busy_cycles": w.busy_cycles,
+                "work_cycles": w.work_cycles,
+                "preemptions": w.preemptions_taken,
+                "completed": w.requests_completed,
+            }
+            for w in server.workers
+        ]
+        d = server.dispatcher
+        self.dispatcher_stats = {
+            "busy_cycles": d.busy_cycles,
+            "actions": d.actions_run,
+            "signals_sent": d.signals_sent,
+            "stale_signals_skipped": d.stale_signals_skipped,
+            "steals_started": d.steals_started,
+            "steal_completions": d.steal_completions,
+            "steal_busy_cycles": d.steal_busy_cycles,
+        }
+
+    # -- derived metrics ------------------------------------------------------------
+
+    def slowdowns(self, warmup_frac=0.1):
+        """Per-request slowdowns, discarding the warmup prefix by arrival
+        order (section 5.1 discards the first 10% of samples)."""
+        ordered = sorted(self.records, key=lambda r: r.arrival_cycle)
+        skip = int(len(ordered) * warmup_frac)
+        return [r.slowdown() for r in ordered[skip:]]
+
+    def measured_records(self, warmup_frac=0.1):
+        ordered = sorted(self.records, key=lambda r: r.arrival_cycle)
+        skip = int(len(ordered) * warmup_frac)
+        return ordered[skip:]
+
+    def client_latencies_us(self, warmup_frac=0.1,
+                            rtt_ns=constants.NETWORK_RTT_NS):
+        """End-to-end latencies as the paper's client measures them
+        (section 5.1): server sojourn plus the network round trip."""
+        rtt_us = rtt_ns / 1000.0
+        return [
+            self.clock.cycles_to_us(r.sojourn_cycles()) + rtt_us
+            for r in self.measured_records(warmup_frac)
+        ]
+
+    def duration_cycles(self):
+        return max(1, self.end_cycle - self.first_arrival_cycle)
+
+    def throughput_rps(self):
+        """Completed requests per second of simulated time."""
+        return len(self.records) * self.clock.freq_hz / self.duration_cycles()
+
+    def goodput_fraction(self):
+        """Fraction of worker capacity spent executing application work —
+        the complement of the system throughput overhead of Eq. 1 (worker
+        side).  Robust at overload, where completion counts lag because
+        PS-style requeueing keeps many requests mid-flight."""
+        elapsed = self.duration_cycles()
+        if not self.worker_stats:
+            return 0.0
+        total_work = sum(s["work_cycles"] for s in self.worker_stats)
+        return min(1.0, total_work / (len(self.worker_stats) * elapsed))
+
+    def worker_idle_fraction(self):
+        """Mean fraction of the run workers spent idle awaiting requests —
+        the quantity Fig. 3 plots."""
+        elapsed = self.duration_cycles()
+        if not self.worker_stats:
+            return 0.0
+        fractions = [
+            min(1.0, s["idle_cycles"] / elapsed) for s in self.worker_stats
+        ]
+        return sum(fractions) / len(fractions)
+
+    def dispatcher_utilization(self):
+        return min(1.0, self.dispatcher_stats["busy_cycles"] / self.duration_cycles())
+
+    def stolen_requests(self):
+        return [r for r in self.records if r.started_by_dispatcher]
+
+    def __repr__(self):
+        return (
+            "SimResult(config={!r}, offered={}, completed={}, drained={})".format(
+                self.config_name, self.num_offered, len(self.records), self.drained
+            )
+        )
+
+
+class Server:
+    """A single simulated server instance (one run)."""
+
+    def __init__(self, machine, config, seed=0, profile=None, app=None):
+        self.machine = machine
+        self.config = config
+        self.clock = machine.clock
+        self.sim = Simulator()
+        #: Optional application implementing the Concord API (section 4.1).
+        #: Its setup hooks run now; its service_time_us refines workload
+        #: samples per request.
+        self.app = app
+        if app is not None:
+            app.setup()
+            for core in range(machine.num_workers):
+                app.setup_worker(core)
+        streams = RngStreams(seed)
+        self.rng_arrival = streams.stream("arrivals")
+        self.rng_service = streams.stream("service")
+        self.rng_notice = streams.stream("notice")
+        self.rng_defer = streams.stream("defer")
+
+        if config.preemptive:
+            self.mechanism = config.preemption_factory(machine)
+        else:
+            self.mechanism = NoPreemption()
+        if profile is not None:
+            self.mechanism.attach_profile(profile)
+
+        self.policy = make_policy(config.policy)
+        self.costs = _Costs(machine, config, self.mechanism)
+        self.queue_mode = config.queue_mode
+        self.preemptive = config.preemptive
+        self.quantum_cycles = (
+            self.clock.us_to_cycles(config.quantum_us) if config.preemptive else None
+        )
+        if config.ideal:
+            self.worker_rate = 1.0
+            self.dispatcher_rate = 1.0
+        else:
+            self.worker_rate = (
+                1.0
+                + constants.RUNTIME_PROC_OVERHEAD_FRACTION
+                + self.mechanism.proc_overhead
+            )
+            self.dispatcher_rate = (
+                1.0
+                + constants.RUNTIME_PROC_OVERHEAD_FRACTION
+                + constants.RDTSC_INSTRUMENTATION_OVERHEAD
+            )
+
+        self.workers = [
+            Worker(self.sim, wid, self) for wid in range(machine.num_workers)
+        ]
+        self.dispatcher = Dispatcher(self.sim, self)
+        self.completed = []
+        self._ran = False
+
+    # -- callbacks used by agents ------------------------------------------------------
+
+    def defer_cycles(self, kind, elapsed_cycles=0):
+        """Safety-first preemption deferral for a request of ``kind`` that
+        has been executing for ``elapsed_cycles`` on its worker."""
+        if self.config.ideal:
+            return 0
+        return self.config.safety.defer_cycles(
+            kind, self.clock, self.rng_defer, elapsed_cycles
+        )
+
+    def poll_discovery_delay(self):
+        """Latency until the dispatcher's flag-poll loop notices a finished
+        single-queue worker: uniform over one poll round across n workers."""
+        if self.config.ideal:
+            return 0
+        span = self.machine.num_workers * constants.DISPATCHER_POLL_CYCLES
+        return int(self.rng_notice.uniform(0, span))
+
+    def record_completion(self, request):
+        self.completed.append(request)
+
+    # -- running ---------------------------------------------------------------------------
+
+    def run(self, workload, arrival, num_requests, until_us=None,
+            max_events=60_000_000):
+        """Generate ``num_requests`` open-loop arrivals and run to drain.
+
+        Parameters
+        ----------
+        workload:
+            A distribution with ``sample_class(rng) -> (kind, service_us)``.
+        arrival:
+            An :class:`~repro.workloads.arrivals.ArrivalProcess`.
+        num_requests:
+            Total arrivals to inject.
+        until_us:
+            Optional hard stop (µs of simulated time): the run ends even if
+            requests are still in flight — used by saturation measurements.
+        max_events:
+            Safety valve against runaway simulations.
+        """
+        if self._ran:
+            raise RuntimeError("Server instances are single-shot; build a new one")
+        self._ran = True
+        if num_requests < 1:
+            raise ValueError("need at least one request")
+
+        state = {"count": 0, "t_us": 0.0, "first": None, "last": None}
+
+        def fire_arrival():
+            cycle = self.sim.now
+            if state["first"] is None:
+                state["first"] = cycle
+            state["last"] = cycle
+            kind, service_us = workload.sample_class(self.rng_service)
+            if self.app is not None:
+                service_us = self.app.service_time_us(
+                    kind, service_us, self.rng_service
+                )
+            service_cycles = max(1, self.clock.us_to_cycles(service_us))
+            request = Request(
+                rid=state["count"],
+                kind=kind,
+                arrival_cycle=cycle,
+                service_cycles=service_cycles,
+                service_us=service_us,
+            )
+            state["count"] += 1
+            self.dispatcher.on_arrival(request)
+            if state["count"] < num_requests:
+                schedule_next()
+
+        def schedule_next():
+            state["t_us"] += arrival.next_gap_us(self.rng_arrival)
+            cycle = self.clock.us_to_cycles(state["t_us"])
+            self.sim.at(max(cycle, self.sim.now), fire_arrival, "arrival")
+
+        schedule_next()
+        return self._drain(num_requests, state, until_us, max_events)
+
+    def run_trace(self, trace, until_us=None, max_events=60_000_000):
+        """Replay a recorded :class:`~repro.workloads.trace.Trace` exactly:
+        same arrival instants, kinds, and service times.  Replaying one
+        trace against several configurations gives a perfectly paired
+        comparison (stronger than common random numbers)."""
+        if self._ran:
+            raise RuntimeError("Server instances are single-shot; build a new one")
+        self._ran = True
+        if not len(trace):
+            raise ValueError("empty trace")
+
+        state = {"count": 0, "first": None, "last": None}
+
+        def fire(record):
+            cycle = self.sim.now
+            if state["first"] is None:
+                state["first"] = cycle
+            state["last"] = cycle
+            service_cycles = max(1, self.clock.us_to_cycles(record.service_us))
+            request = Request(
+                rid=state["count"],
+                kind=record.kind,
+                arrival_cycle=cycle,
+                service_cycles=service_cycles,
+                service_us=record.service_us,
+            )
+            state["count"] += 1
+            self.dispatcher.on_arrival(request)
+
+        for record in trace:
+            cycle = self.clock.us_to_cycles(record.arrival_us)
+            self.sim.at(cycle, lambda r=record: fire(r), "trace-arrival")
+        return self._drain(len(trace), state, until_us, max_events)
+
+    def _drain(self, num_requests, state, until_us, max_events):
+        until = self.clock.us_to_cycles(until_us) if until_us is not None else None
+        self.sim.run(until=until, max_events=max_events)
+        drained = len(self.completed) == num_requests
+        if not drained and until is None:
+            if self.sim.pending:
+                raise RunLimitExceeded(
+                    "{}: {} events were not enough to drain {} requests "
+                    "({} completed)".format(
+                        self.config.name, max_events, num_requests,
+                        len(self.completed),
+                    )
+                )
+        return SimResult(
+            server=self,
+            num_offered=state["count"],
+            first_arrival=state["first"] or 0,
+            last_arrival=state["last"] or 0,
+            end_cycle=self.sim.now,
+            drained=drained,
+        )
+
+
+def capacity_estimate_rps(machine, workload, overhead_fraction=0.05):
+    """Back-of-envelope maximum throughput: worker cycles divided by mean
+    per-request work, derated by ``overhead_fraction``.  Used by experiments
+    to place load-sweep grids."""
+    mean_cycles = machine.clock.us_to_cycles(workload.mean_us())
+    raw = machine.num_workers * machine.clock.freq_hz / max(1, mean_cycles)
+    return raw * (1.0 - overhead_fraction)

@@ -1,0 +1,194 @@
+"""Command-line entry point: ``concord-repro``.
+
+    concord-repro list
+    concord-repro run fig6 --quality standard --seed 1
+    concord-repro run all --quality full --out results/
+
+Each experiment prints the rows/series its paper figure plots, plus the
+headline summary (SLO knees, improvement percentages).
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="concord-repro",
+        description="Reproduce the tables and figures of the Concord paper "
+                    "(SOSP '23) on the discrete-event simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment", help="experiment id (see 'list') or 'all'"
+    )
+    run_parser.add_argument(
+        "--quality", default="standard",
+        choices=["smoke", "standard", "full"],
+        help="run size preset (default: standard)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=1, help="master RNG seed (default: 1)"
+    )
+    run_parser.add_argument(
+        "--out", default=None,
+        help="directory to also write per-experiment .txt reports into",
+    )
+    run_parser.add_argument(
+        "--plot", action="store_true",
+        help="render each multi-column result as an ASCII chart too",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="run two runtimes head-to-head on one workload and load",
+    )
+    compare_parser.add_argument(
+        "--workload", default="bimodal-995-05-500",
+        help="named workload (see repro.workloads.NAMED_WORKLOADS)",
+    )
+    compare_parser.add_argument(
+        "--load-krps", type=float, default=None,
+        help="offered load in kRps (default: 60%% of nominal capacity)",
+    )
+    compare_parser.add_argument(
+        "--quantum-us", type=float, default=5.0, help="scheduling quantum"
+    )
+    compare_parser.add_argument(
+        "--requests", type=int, default=15_000, help="arrivals to simulate"
+    )
+    compare_parser.add_argument(
+        "--workers", type=int, default=14, help="worker threads"
+    )
+    compare_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.add_argument(
+        "--systems", default="shinjuku,concord",
+        help="comma-separated: persephone, shinjuku, concord, "
+             "concord-no-steal, coop-sq, coop-jbsq",
+    )
+    return parser
+
+
+_SYSTEM_FACTORIES = {
+    "persephone": lambda q: _presets().persephone_fcfs(),
+    "shinjuku": lambda q: _presets().shinjuku(q),
+    "concord": lambda q: _presets().concord(q),
+    "concord-no-steal": lambda q: _presets().concord_no_steal(q),
+    "coop-sq": lambda q: _presets().coop_single_queue(q),
+    "coop-jbsq": lambda q: _presets().coop_jbsq(q),
+}
+
+
+def _presets():
+    from repro.core import presets
+
+    return presets
+
+
+def _run_compare(args, stream):
+    from repro.core.server import Server
+    from repro.hardware import c6420
+    from repro.metrics import format_table, summarize_slowdowns
+    from repro.workloads import PoissonProcess, workload_by_name
+
+    workload = workload_by_name(args.workload)
+    machine = c6420(args.workers)
+    load = (
+        args.load_krps * 1e3
+        if args.load_krps is not None
+        else 0.6 * machine.num_workers * 1e6 / workload.mean_us()
+    )
+    rows = []
+    for name in args.systems.split(","):
+        name = name.strip()
+        try:
+            factory = _SYSTEM_FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                "unknown system {!r}; known: {}".format(
+                    name, ", ".join(sorted(_SYSTEM_FACTORIES))
+                )
+            ) from None
+        config = factory(args.quantum_us)
+        server = Server(machine, config, seed=args.seed)
+        result = server.run(workload, PoissonProcess(load), args.requests)
+        summary = summarize_slowdowns(result.slowdowns())
+        rows.append([
+            config.name, summary.p50, summary.p99, summary.p999,
+            "yes" if summary.meets_slo() else "NO",
+            round(result.dispatcher_utilization(), 3),
+            result.dispatcher_stats["steal_completions"],
+        ])
+    print(format_table(
+        ["system", "p50", "p99", "p99.9", "SLO met", "disp util", "stolen"],
+        rows,
+        title="{} at {:.0f} kRps, quantum {:g}us, {} workers".format(
+            workload.name, load / 1e3, args.quantum_us, args.workers),
+    ), file=stream)
+    return 0
+
+
+def _run_one(experiment_id, quality, seed, out_dir, stream, plot=False):
+    started = time.time()
+    results = run_experiment(experiment_id, quality=quality, seed=seed)
+    elapsed = time.time() - started
+    chunks = [result.render() for result in results]
+    if plot:
+        from repro.experiments.plotting import result_chart
+
+        for result in results:
+            chart = result_chart(result)
+            if chart:
+                chunks.append(chart)
+    text = "\n\n".join(chunks)
+    print(text, file=stream)
+    print("  [{} finished in {:.1f}s]".format(experiment_id, elapsed),
+          file=stream)
+    print("", file=stream)
+    if out_dir:
+        path = os.path.join(out_dir, "{}.txt".format(experiment_id))
+        with open(path, "w") as f:
+            f.write(text + "\n")
+    return results
+
+
+def main(argv=None, stream=None):
+    stream = stream or sys.stdout
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for eid in sorted(EXPERIMENTS):
+            print(
+                "{}  {}".format(eid.ljust(width), EXPERIMENTS[eid].description),
+                file=stream,
+            )
+        return 0
+
+    if args.command == "compare":
+        return _run_compare(args, stream)
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    if args.experiment == "all":
+        for eid in sorted(EXPERIMENTS):
+            _run_one(eid, args.quality, args.seed, args.out, stream,
+                     plot=args.plot)
+    else:
+        _run_one(args.experiment, args.quality, args.seed, args.out, stream,
+                 plot=args.plot)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Extension: JBSQ(k) depth sweep (section 3.2's design choice).
+
+The paper argues k must be just large enough to hide the dispatcher-worker
+communication delay — k=2 for microsecond service times, with
+k = ceil(cnext/S) + 1 as the rule of thumb — and that larger k only hurts
+tail latency without throughput benefit.  This ablation sweeps k at a fixed
+high load on exponential 5 µs requests (short enough for handoff costs to
+matter, variable enough for imbalance to show) and reports tail slowdown
+and worker idle time.
+"""
+
+from repro.core.presets import concord_no_steal
+from repro.core.server import Server
+from repro.experiments.common import ExperimentResult, scale_for
+from repro.hardware import c6420
+from repro.metrics.slowdown import summarize_slowdowns
+from repro.workloads.arrivals import PoissonProcess
+from repro.workloads.distributions import bimodal
+
+DEPTHS = [1, 2, 3, 4, 6]
+QUANTUM_US = 20.0  # rarely fires: this ablation isolates queueing
+
+
+def run(quality="standard", seed=1):
+    scale = scale_for(quality)
+    machine = c6420(8)
+    # Short requests (handoff costs matter) with enough size spread for
+    # deep local queues to cause imbalance, and a bounded slowdown
+    # denominator (no near-zero service times).
+    workload = bimodal(75, 1.0, 25, 4.0)
+    load = 0.92 * machine.num_workers * 1e6 / workload.mean_us()
+    result = ExperimentResult(
+        experiment_id="ext-jbsq",
+        title="JBSQ(k) depth ablation at {:.0f} kRps (Bimodal(75:1,25:4), in-process "
+              "load)".format(load / 1e3),
+        headers=["k", "p50", "p999", "worker_idle_pct"],
+    )
+    tails = {}
+    idles = {}
+    for depth in DEPTHS:
+        config = concord_no_steal(QUANTUM_US, jbsq_depth=depth).replace(
+            name="JBSQ({})".format(depth), rx_cost_cycles=50,
+        )
+        server = Server(machine, config, seed=seed)
+        sim = server.run(
+            workload, PoissonProcess(load), scale.num_requests
+        )
+        summary = summarize_slowdowns(sim.slowdowns())
+        idle_pct = 100.0 * sim.worker_idle_fraction()
+        tails[depth] = summary.p999
+        idles[depth] = idle_pct
+        result.add_row(depth, summary.p50, summary.p999, idle_pct)
+
+    result.summary["idle_reduction_k1_to_k2_pct"] = idles[1] - idles[2]
+    result.summary["tail_penalty_k6_vs_k2"] = tails[6] - tails[2]
+    result.summary["rule_of_thumb_k"] = 2  # ceil(400 / 13000) + 1
+    result.note(
+        "expected: k=1 (pure single queue) idles workers on every handoff; "
+        "k=2 removes the idle time; k>2 only degrades the tail"
+    )
+    return result

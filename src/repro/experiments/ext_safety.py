@@ -1,0 +1,62 @@
+"""Extension: the safety-first preemption microbenchmark of section 3.1.
+
+The paper describes crafting a workload where a single LevelDB GET API
+call runs for ~100 µs: the Shinjuku prototype — which disables preemption
+across entire API calls — cannot preempt the worker for the whole call,
+while Concord's 4-line lock counter defers preemption only inside the
+(tiny) critical section.  "For this microbenchmark, Concord improved
+throughput by 4x in comparison to Shinjuku while meeting the same
+tail-latency SLO."
+"""
+
+from repro.core.config import ApiWindowSafety
+from repro.core.presets import concord, shinjuku
+from repro.experiments.loadcurves import slowdown_vs_load
+from repro.hardware import cloud_vm_4core
+from repro.kvstore import concord_lock_counter_safety
+from repro.workloads.distributions import ClassMix, Fixed, RequestClass
+
+QUANTUM_US = 5.0
+LONG_GET_US = 100.0
+
+
+def run(quality="standard", seed=1):
+    machine = cloud_vm_4core()
+    # Mostly short GETs plus pathological 100us GET API calls, served by
+    # the small-VM configuration where a blocked worker really hurts.
+    workload = ClassMix(
+        [
+            RequestClass("GET", 0.92, Fixed(0.6)),
+            RequestClass("LONG_GET", 0.08, Fixed(LONG_GET_US)),
+        ],
+        name="LevelDB long-GET microbenchmark",
+    )
+    max_load = machine.num_workers * 1e6 / workload.mean_us()
+    configs = [
+        shinjuku(
+            QUANTUM_US,
+            # Preemption disabled for the entire (100us) GET API call.
+            safety=ApiWindowSafety({"GET": 0.6, "LONG_GET": LONG_GET_US}),
+        ),
+        concord(QUANTUM_US, safety=concord_lock_counter_safety()),
+    ]
+    result = slowdown_vs_load(
+        experiment_id="ext-safety",
+        title="Safety-first preemption: 100us GET API call "
+              "(API-window vs lock-counter deferral)",
+        machine=machine,
+        configs=configs,
+        workload=workload,
+        max_load_rps=max_load,
+        quality=quality,
+        seed=seed,
+        low_fraction=0.02,
+        high_fraction=1.0,
+        baseline="Shinjuku",
+        contender="Concord",
+    )
+    result.note(
+        "paper anecdote: Shinjuku cannot preempt for up to 100us, Concord "
+        "improves throughput ~4x at the same tail-latency SLO"
+    )
+    return result

@@ -1,0 +1,47 @@
+"""Fig. 10: the LevelDB server under Meta's ZippyDB production mix
+(78% GET / 13% PUT / 6% DELETE / 3% SCAN), quantum 5 µs.
+
+Expected: Concord sustains ~19% more load than Shinjuku — in line with
+Fig. 7's Bimodal(99.5:0.5, 0.5:500), whose shape this mix resembles.
+"""
+
+from repro.core.presets import concord, persephone_fcfs, shinjuku
+from repro.experiments.loadcurves import slowdown_vs_load
+from repro.hardware import c6420
+from repro.kvstore import (
+    concord_lock_counter_safety,
+    shinjuku_api_window_safety,
+)
+from repro.workloads.named import leveldb_zippydb
+
+QUANTUM_US = 5.0
+
+
+def run(quality="standard", seed=1):
+    workload = leveldb_zippydb()
+    machine = c6420()
+    max_load = machine.num_workers * 1e6 / workload.mean_us()
+    configs = [
+        persephone_fcfs(),
+        shinjuku(QUANTUM_US, safety=shinjuku_api_window_safety()),
+        concord(QUANTUM_US, safety=concord_lock_counter_safety()),
+    ]
+    result = slowdown_vs_load(
+        experiment_id="fig10",
+        title="LevelDB ZippyDB production mix, quantum 5us",
+        machine=machine,
+        configs=configs,
+        workload=workload,
+        max_load_rps=max_load,
+        quality=quality,
+        seed=seed,
+        low_fraction=0.2,
+        high_fraction=1.02,
+        baseline="Shinjuku",
+        contender="Concord",
+    )
+    result.note(
+        "paper: Concord supports 19% greater throughput than Shinjuku for "
+        "the target 50x slowdown"
+    )
+    return result

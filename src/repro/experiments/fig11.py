@@ -1,0 +1,62 @@
+"""Fig. 11: cumulative mechanism ablation on the LevelDB 50/50 workload.
+
+Four systems, each adding one Concord mechanism:
+Shinjuku (IPIs+SQ) -> Co-op+SQ -> Co-op+JBSQ(2) -> full Concord
+(+ work-conserving dispatcher), plus Persephone-FCFS for reference.
+Paper knees at the 50x SLO: ~19, ~22.5, ~32, ~35 kRps (2 µs quantum,
+the configuration of Fig. 9(b)).
+"""
+
+from repro.core.presets import (
+    concord,
+    coop_jbsq,
+    coop_single_queue,
+    persephone_fcfs,
+    shinjuku,
+)
+from repro.experiments.loadcurves import slowdown_vs_load
+from repro.hardware import c6420
+from repro.kvstore import (
+    concord_lock_counter_safety,
+    shinjuku_api_window_safety,
+)
+from repro.workloads.named import leveldb_50get_50scan
+
+QUANTUM_US = 2.0
+
+
+def run(quality="standard", seed=1):
+    workload = leveldb_50get_50scan()
+    machine = c6420()
+    max_load = machine.num_workers * 1e6 / workload.mean_us()
+    concord_safety = concord_lock_counter_safety()
+    configs = [
+        persephone_fcfs(),
+        shinjuku(QUANTUM_US, safety=shinjuku_api_window_safety()).replace(
+            name="Shinjuku: IPIs+SQ"
+        ),
+        coop_single_queue(QUANTUM_US, safety=concord_safety),
+        coop_jbsq(QUANTUM_US, safety=concord_safety),
+        concord(QUANTUM_US, safety=concord_safety).replace(
+            name="Concord: Co-op+JBSQ(2)+dispatcher work"
+        ),
+    ]
+    result = slowdown_vs_load(
+        experiment_id="fig11",
+        title="Mechanism ablation, LevelDB 50% GET / 50% SCAN, quantum 2us",
+        machine=machine,
+        configs=configs,
+        workload=workload,
+        max_load_rps=max_load,
+        quality=quality,
+        seed=seed,
+        low_fraction=0.2,
+        high_fraction=0.95,
+        baseline="Shinjuku: IPIs+SQ",
+        contender="Concord: Co-op+JBSQ(2)+dispatcher work",
+    )
+    result.note(
+        "paper: knees ~19 kRps (Shinjuku) -> ~22.5 (Co-op+SQ) -> ~32 "
+        "(Co-op+JBSQ(2)) -> ~35 (full Concord)"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Fig. 15: is Concord future-proof?  Compiler-enforced cooperation vs
+Intel's user-space IPIs (UIPIs) on a Sapphire Rapids machine.
+
+Same methodology as Fig. 2 (500 µs requests, no-op handlers) but with the
+192-core machine's ~1.5x more expensive coherence misses.  Expected:
+Concord's overhead stays ~2x below UIPIs — interrupts still cross the same
+coherence fabric as the cache-line write, plus delivery costs.
+"""
+
+from repro.core.preemption import (
+    CacheLineCooperation,
+    RdtscSelfPreemption,
+    UserIPI,
+)
+from repro.experiments.common import ExperimentResult
+from repro.hardware import sapphire_rapids
+from repro.models.overhead import preemption_notification_overhead
+
+QUANTA_US = [1, 2, 5, 10, 25, 50, 100]
+
+
+def run(quality="standard", seed=1):
+    machine = sapphire_rapids()
+    clock = machine.clock
+    mechanisms = [
+        ("User-space IPIs", UserIPI(coherence=machine.coherence)),
+        ("rdtsc() instrumentation", RdtscSelfPreemption()),
+        ("Concord's compiler-enforced cooperation",
+         CacheLineCooperation(coherence=machine.coherence)),
+    ]
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Preemption overhead on Sapphire Rapids: Concord vs Intel "
+              "user-space IPIs",
+        headers=["quantum_us"] + [name for name, _ in mechanisms],
+    )
+    ratios = []
+    for quantum in QUANTA_US:
+        row = [quantum]
+        overheads = {}
+        for name, mechanism in mechanisms:
+            overhead = 100.0 * preemption_notification_overhead(
+                mechanism, quantum, clock
+            )
+            overheads[name] = overhead
+            row.append(overhead)
+        result.add_row(*row)
+        concord = overheads["Concord's compiler-enforced cooperation"]
+        if concord > 0 and quantum <= 10:
+            ratios.append(overheads["User-space IPIs"] / concord)
+
+    result.summary["uipi_vs_concord_mean_ratio_small_quanta"] = (
+        sum(ratios) / len(ratios)
+    )
+    result.note(
+        "paper: Concord imposes ~2x lower overhead than UIPIs; coherence "
+        "misses are ~1.5x pricier on this machine, raising Concord's "
+        "absolute overhead slightly vs Fig. 2"
+    )
+    return result

@@ -1,0 +1,38 @@
+"""Turn ExperimentResults into ASCII charts (the CLI's --plot flag)."""
+
+from repro.metrics.plot import ascii_plot
+
+__all__ = ["result_chart"]
+
+
+def result_chart(result, width=64, height=14):
+    """Chart a result whose first column is numeric x and remaining numeric
+    columns are series.  Returns None for results that are not chartable
+    (e.g. Table 1's per-program rows)."""
+    if len(result.headers) < 2 or not result.rows:
+        return None
+    x_header = result.headers[0]
+    numeric_columns = []
+    for column in range(1, len(result.headers)):
+        values = [row[column] for row in result.rows]
+        if all(isinstance(v, (int, float)) for v in values):
+            numeric_columns.append(column)
+    if not numeric_columns:
+        return None
+    if not all(isinstance(row[0], (int, float)) for row in result.rows):
+        return None
+    series = {}
+    for column in numeric_columns:
+        name = str(result.headers[column])
+        series[name] = [(row[0], row[column]) for row in result.rows]
+    spread = [
+        abs(y) for values in series.values() for _x, y in values
+    ]
+    log_y = max(spread) > 50 * max(1e-9, min(s for s in spread if s > 0)) \
+        if any(s > 0 for s in spread) else False
+    return ascii_plot(
+        series, width=width, height=height,
+        title="{} ({})".format(result.experiment_id, "log y" if log_y else
+                               "linear y"),
+        x_label=x_header, y_label="y", log_y=log_y,
+    )

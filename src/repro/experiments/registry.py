@@ -1,0 +1,134 @@
+"""Registry of all experiments, keyed by the paper figure/table they
+reproduce."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    ext_jbsq,
+    ext_policies,
+    ext_safety,
+    ext_scaling,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+)
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "experiment_by_id",
+           "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment."""
+
+    experiment_id: str
+    description: str
+    run: Callable
+
+    def __call__(self, quality="standard", seed=1):
+        return as_result_list(self.run(quality=quality, seed=seed))
+
+
+def as_result_list(outcome):
+    """Experiments return one result or a list; normalize to a list."""
+    if isinstance(outcome, list):
+        return outcome
+    return [outcome]
+
+
+EXPERIMENTS = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "fig2", "Preemption mechanism overhead vs quantum", fig2.run
+        ),
+        ExperimentSpec(
+            "fig3", "Worker idle time: single queue vs JBSQ(2)", fig3.run
+        ),
+        ExperimentSpec(
+            "fig5", "Impact of non-instantaneous preemption (queueing model)",
+            fig5.run,
+        ),
+        ExperimentSpec(
+            "fig6", "Bimodal(50:1,50:100) slowdown vs load, q=5/2us", fig6.run
+        ),
+        ExperimentSpec(
+            "fig7", "Bimodal(99.5:0.5,0.5:500) slowdown vs load, q=5/2us",
+            fig7.run,
+        ),
+        ExperimentSpec(
+            "fig8", "Low-dispersion workloads: Fixed(1us) and TPCC", fig8.run
+        ),
+        ExperimentSpec(
+            "fig9", "LevelDB 50% GET / 50% SCAN, q=5/2us", fig9.run
+        ),
+        ExperimentSpec(
+            "fig10", "LevelDB under Meta's ZippyDB mix, q=5us", fig10.run
+        ),
+        ExperimentSpec(
+            "fig11", "Cumulative mechanism ablation on LevelDB", fig11.run
+        ),
+        ExperimentSpec(
+            "fig12", "Preemption overhead reduction vs quantum (with yields)",
+            fig12.run,
+        ),
+        ExperimentSpec(
+            "fig13", "Work-conserving dispatcher on a 4-core VM", fig13.run
+        ),
+        ExperimentSpec(
+            "fig14", "Low-load slowdown cost of work stealing", fig14.run
+        ),
+        ExperimentSpec(
+            "fig15", "Concord vs Intel user-space IPIs (Sapphire Rapids)",
+            fig15.run,
+        ),
+        ExperimentSpec(
+            "table1", "Instrumentation overhead and timeliness, 24 kernels",
+            table1.run,
+        ),
+        ExperimentSpec(
+            "ext-jbsq", "Extension: JBSQ(k) depth ablation", ext_jbsq.run
+        ),
+        ExperimentSpec(
+            "ext-policies", "Extension: FCFS vs SRPT central-queue policies",
+            ext_policies.run,
+        ),
+        ExperimentSpec(
+            "ext-safety", "Extension: safety-first preemption microbenchmark",
+            ext_safety.run,
+        ),
+        ExperimentSpec(
+            "ext-scaling",
+            "Extension: replication and single-logical-queue scalability",
+            ext_scaling.run,
+        ),
+    ]
+}
+
+
+def experiment_by_id(experiment_id):
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            "unknown experiment {!r}; known: {}".format(
+                experiment_id, ", ".join(sorted(EXPERIMENTS))
+            )
+        ) from None
+
+
+def run_experiment(experiment_id, quality="standard", seed=1):
+    """Run one experiment; returns a list of ExperimentResult."""
+    return experiment_by_id(experiment_id)(quality=quality, seed=seed)

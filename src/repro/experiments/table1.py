@@ -1,0 +1,112 @@
+"""Table 1: overhead and timeliness of Concord's instrumentation across 24
+benchmarks from Splash-2, Phoenix, and Parsec, vs Compiler Interrupts (CI).
+
+Each kernel is compiled twice through our pass pipeline — cache-line
+probes with loop unrolling (Concord) and threshold-counter rdtsc probes
+(CI) — executed on the IR interpreter, and measured for (a) overhead vs
+the un-instrumented -O3 baseline and (b) the standard deviation of
+achieved 5 µs scheduling quanta.
+
+Paper aggregates to reproduce: Concord average ~1% (some entries
+negative thanks to unrolling), an order of magnitude below CI's average
+(~13.7%); per-benchmark timeliness sigma always < 2 µs, with the p99
+achieved quantum within 3 sigma.
+"""
+
+import math
+
+from repro.experiments.common import ExperimentResult, scale_for
+from repro.hardware import CycleClock
+from repro.instrument import CACHELINE_STYLE, RDTSC_STYLE, profile_kernel
+from repro.instrument.kernels import KERNELS
+
+QUANTUM_US = 5.0
+
+#: Table 1's published per-benchmark values (Concord %, CI %, sigma µs) for
+#: side-by-side comparison in the rendered table.
+PAPER_TABLE1 = {
+    "water-nsquared": (-0.3, 3, 0.24),
+    "water-spatial": (-0.6, 4, 0.23),
+    "ocean-cp": (0.1, 10, 1.8),
+    "ocean-ncp": (1, 6, 1.1),
+    "volrend": (0.5, 13, 0.47),
+    "fmm": (0.4, -2, 0.11),
+    "raytrace": (-0.2, 4, 0.03),
+    "radix": (0.9, 4, 0.56),
+    "fft": (1.2, 1, 0.63),
+    "lu-c": (4.6, 13, 0.63),
+    "lu-nc": (-3.7, 23, 0.58),
+    "cholesky": (-2.9, 29, 0.86),
+    "histogram": (1.6, 20, 0.57),
+    "kmeans": (-0.3, 3, 1.0),
+    "pca": (-2.7, 25, 0.06),
+    "string_match": (2, 18, 0.86),
+    "linear_regression": (6.7, 37, 0.78),
+    "word_count": (2.4, 30, 1.11),
+    "blackscholes": (4, 10, 1.14),
+    "fluidanimate": (1.3, 2, 0.04),
+    "swapoptions": (2.2, 24, 0.86),
+    "canneal": (1.5, 34, 0.02),
+    "streamcluster": (-2.1, 6, 0.08),
+    "dedup": (0.4, 4, 1.2),
+}
+
+
+def run(quality="standard", seed=1):
+    scale = scale_for(quality)
+    clock = CycleClock()
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Instrumentation overhead and preemption timeliness "
+              "(quantum {:g}us)".format(QUANTUM_US),
+        headers=[
+            "program", "suite", "concord_%", "ci_%", "std_us",
+            "paper_concord_%", "paper_ci_%", "paper_std_us",
+        ],
+    )
+    concord_overheads = []
+    ci_overheads = []
+    stds = []
+    p99_within_3_sigma = 0
+    for spec in KERNELS:
+        factory = lambda s=spec: s.build(scale=scale.kernel_scale)
+        concord = profile_kernel(factory, CACHELINE_STYLE)
+        ci = profile_kernel(factory, RDTSC_STYLE)
+        std = concord.timeliness_std_us(QUANTUM_US, clock)
+        concord_pct = 100.0 * concord.overhead_fraction
+        ci_pct = 100.0 * ci.overhead_fraction
+        concord_overheads.append(concord_pct)
+        ci_overheads.append(ci_pct)
+        stds.append(std)
+
+        deviations = concord.preemption_deviations_cycles(
+            clock.us_to_cycles(QUANTUM_US)
+        )
+        deviations.sort()
+        p99 = deviations[int(0.99 * (len(deviations) - 1))]
+        sigma_cycles = clock.us_to_cycles(std) or 1
+        mean = sum(deviations) / len(deviations)
+        if p99 <= mean + 3 * math.ceil(sigma_cycles) + 1:
+            p99_within_3_sigma += 1
+
+        paper = PAPER_TABLE1[spec.name]
+        result.add_row(
+            spec.name, spec.suite, concord_pct, ci_pct, std,
+            paper[0], paper[1], paper[2],
+        )
+
+    n = len(KERNELS)
+    result.summary["concord_mean_overhead_pct"] = sum(concord_overheads) / n
+    result.summary["ci_mean_overhead_pct"] = sum(ci_overheads) / n
+    result.summary["concord_max_overhead_pct"] = max(concord_overheads)
+    result.summary["ci_max_overhead_pct"] = max(ci_overheads)
+    result.summary["max_std_us"] = max(stds)
+    result.summary["kernels_with_negative_concord_overhead"] = sum(
+        1 for o in concord_overheads if o < 0
+    )
+    result.summary["p99_within_3_sigma_count"] = p99_within_3_sigma
+    result.note(
+        "paper: Concord average 1.04% (max 6.7%), CI average 13.7% "
+        "(max 37%); sigma < 2us for every benchmark"
+    )
+    return result

@@ -1,0 +1,25 @@
+"""Hardware model: clocks, cache coherence, machine specifications.
+
+This package encodes the handful of microarchitectural costs that determine
+every result in the paper (see DESIGN.md, section 1) and the machine shapes
+used in the evaluation (the 16-core c6420 configuration, the 4-vCPU cloud VM
+of Fig. 13, and the Sapphire Rapids box of Fig. 15).
+"""
+
+from repro.hardware.cpu import CycleClock
+from repro.hardware.coherence import CoherenceModel
+from repro.hardware.machine import (
+    MachineSpec,
+    c6420,
+    cloud_vm_4core,
+    sapphire_rapids,
+)
+
+__all__ = [
+    "CycleClock",
+    "CoherenceModel",
+    "MachineSpec",
+    "c6420",
+    "cloud_vm_4core",
+    "sapphire_rapids",
+]

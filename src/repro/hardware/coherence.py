@@ -1,0 +1,60 @@
+"""Cache-coherence cost model.
+
+Section 2.2.2 of the paper bounds the single-queue handoff cost from below
+by two coherence misses (~400 cycles) and section 3.1 measures the final
+cache-line-probe miss at ~150 cycles.  Section 5.6 notes these costs scale
+with core count (1.5x on a 192-core Sapphire Rapids part).  This module
+centralizes those numbers so a :class:`~repro.hardware.machine.MachineSpec`
+can scale them uniformly.
+"""
+
+from repro import constants
+
+__all__ = ["CoherenceModel"]
+
+
+class CoherenceModel:
+    """Per-machine cache-coherence latencies, in cycles.
+
+    Parameters
+    ----------
+    scale:
+        Multiplier applied to all coherence latencies; 1.0 for the paper's
+        c6420 testbed, 1.5 for the Sapphire Rapids machine of Fig. 15.
+    """
+
+    def __init__(self, scale=1.0):
+        if scale <= 0:
+            raise ValueError("coherence scale must be positive, got {}".format(scale))
+        self.scale = float(scale)
+
+    def _scaled(self, cycles):
+        return int(round(cycles * self.scale))
+
+    @property
+    def line_transfer_cycles(self):
+        """One cache-line transfer between two cores."""
+        return self._scaled(constants.COHERENCE_MISS_CYCLES)
+
+    @property
+    def probe_miss_cycles(self):
+        """Read-after-Write miss on the dedicated preemption cache line."""
+        return self._scaled(constants.CACHELINE_MISS_CYCLES)
+
+    @property
+    def sq_handoff_cycles(self):
+        """Minimum worker idle time per single-queue handoff (two misses)."""
+        return self._scaled(constants.SQ_HANDOFF_CYCLES)
+
+    @property
+    def uipi_receive_cycles(self):
+        """User-space interrupt delivery; rides the same coherence fabric
+        (section 5.6), so it scales with the machine."""
+        return self._scaled(constants.UIPI_RECEIVE_CYCLES)
+
+    def scaled(self, factor):
+        """A new model with latencies multiplied by ``factor``."""
+        return CoherenceModel(self.scale * factor)
+
+    def __repr__(self):
+        return "CoherenceModel(scale={})".format(self.scale)

@@ -1,0 +1,64 @@
+"""Cycle/time conversion for a fixed-frequency CPU clock.
+
+The simulator's native time unit is the CPU cycle.  :class:`CycleClock`
+converts between cycles and wall-clock units for a given core frequency.
+Conversions to cycles round *up* so that modelled costs never silently
+shrink to zero at coarse frequencies.
+"""
+
+import math
+
+from repro.constants import DEFAULT_FREQ_HZ
+
+__all__ = ["CycleClock"]
+
+
+class CycleClock:
+    """Converts between CPU cycles and nanoseconds/microseconds/seconds."""
+
+    def __init__(self, freq_hz=DEFAULT_FREQ_HZ):
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive, got {}".format(freq_hz))
+        self.freq_hz = int(freq_hz)
+
+    # -- time -> cycles -------------------------------------------------------
+
+    def cycles(self, seconds):
+        """Cycles in ``seconds`` of wall-clock time (rounded up)."""
+        return int(math.ceil(seconds * self.freq_hz))
+
+    def us_to_cycles(self, microseconds):
+        """Cycles in ``microseconds`` (rounded up to a whole cycle)."""
+        return int(math.ceil(microseconds * self.freq_hz / 1_000_000))
+
+    def ns_to_cycles(self, nanoseconds):
+        """Cycles in ``nanoseconds`` (rounded up to a whole cycle)."""
+        return int(math.ceil(nanoseconds * self.freq_hz / 1_000_000_000))
+
+    # -- cycles -> time -------------------------------------------------------
+
+    def cycles_to_us(self, cycles):
+        """Microseconds elapsed over ``cycles``."""
+        return cycles * 1_000_000 / self.freq_hz
+
+    def cycles_to_ns(self, cycles):
+        """Nanoseconds elapsed over ``cycles``."""
+        return cycles * 1_000_000_000 / self.freq_hz
+
+    def cycles_to_seconds(self, cycles):
+        """Seconds elapsed over ``cycles``."""
+        return cycles / self.freq_hz
+
+    @property
+    def cycles_per_us(self):
+        """Whole cycles per microsecond."""
+        return self.freq_hz // 1_000_000
+
+    def __repr__(self):
+        return "CycleClock(freq_hz={})".format(self.freq_hz)
+
+    def __eq__(self, other):
+        return isinstance(other, CycleClock) and self.freq_hz == other.freq_hz
+
+    def __hash__(self):
+        return hash(("CycleClock", self.freq_hz))

@@ -1,0 +1,86 @@
+"""Machine specifications for the paper's testbeds.
+
+A :class:`MachineSpec` bundles a clock, a coherence model, and the thread
+topology (how many worker threads, whether the networker shares a core with
+the dispatcher).  Factory functions build the three machines used in the
+evaluation.
+"""
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.hardware.coherence import CoherenceModel
+from repro.hardware.cpu import CycleClock
+
+__all__ = ["MachineSpec", "c6420", "cloud_vm_4core", "sapphire_rapids"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A simulated machine.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    clock:
+        Cycle/time conversion for the core frequency.
+    coherence:
+        Cache-coherence latency model.
+    num_workers:
+        Number of worker threads, each pinned to a dedicated physical core.
+    networker_shares_dispatcher_core:
+        Section 5.1: Shinjuku runs the networker and dispatcher as two
+        hyperthreads of one physical core.  When True, networking costs are
+        charged outside the dispatcher's budget (the networker hyperthread
+        absorbs them), matching all three systems' setups in the paper.
+    """
+
+    name: str
+    clock: CycleClock = field(default_factory=CycleClock)
+    coherence: CoherenceModel = field(default_factory=CoherenceModel)
+    num_workers: int = constants.DEFAULT_NUM_WORKERS
+    networker_shares_dispatcher_core: bool = True
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError(
+                "machine needs at least one worker, got {}".format(self.num_workers)
+            )
+
+    @property
+    def total_threads(self):
+        """Worker threads plus the dispatcher (networker shares a core)."""
+        return self.num_workers + 1
+
+    def with_workers(self, num_workers):
+        """A copy of this spec with a different worker count."""
+        return MachineSpec(
+            name=self.name,
+            clock=self.clock,
+            coherence=self.coherence,
+            num_workers=num_workers,
+            networker_shares_dispatcher_core=self.networker_shares_dispatcher_core,
+        )
+
+
+def c6420(num_workers=constants.DEFAULT_NUM_WORKERS):
+    """The paper's primary testbed: CloudLab c6420, Xeon Gold 6142 @ 2.6 GHz,
+    14 worker threads by default (section 5.1)."""
+    return MachineSpec(name="c6420", num_workers=num_workers)
+
+
+def cloud_vm_4core():
+    """The 4-vCPU public-cloud VM of Fig. 13: one dispatcher, one networker,
+    two workers."""
+    return MachineSpec(name="cloud-vm-4core", num_workers=2)
+
+
+def sapphire_rapids(num_workers=constants.DEFAULT_NUM_WORKERS):
+    """The 192-core Sapphire Rapids machine of section 5.6, where coherence
+    misses are ~1.5x more expensive."""
+    return MachineSpec(
+        name="sapphire-rapids",
+        coherence=CoherenceModel(constants.SAPPHIRE_RAPIDS_COHERENCE_FACTOR),
+        num_workers=num_workers,
+    )

@@ -1,0 +1,70 @@
+"""The "Concord compiler" substrate (section 4.3).
+
+The paper implements two LLVM passes that instrument application code with
+preemption probes — cache-line polls for workers, rdtsc() checks for the
+dispatcher — placing probes at function entries, loop back-edges, and around
+calls to un-instrumented code, and unrolling tight loops so probes sit at
+least ~200 IR instructions apart.
+
+This package reproduces that pipeline on a small typed IR:
+
+* :mod:`repro.instrument.ir` / :mod:`builder` — the IR and a construction API;
+* :mod:`repro.instrument.cfg` — control-flow graph, dominators, natural loops;
+* :mod:`repro.instrument.passes` — the probe-insertion and loop-unrolling
+  passes plus an IR verifier;
+* :mod:`repro.instrument.interp` — a cycle-counting interpreter that executes
+  instrumented code and records the probe timeline;
+* :mod:`repro.instrument.profile` — condenses a run into an
+  :class:`InstrumentationProfile` (overhead fraction, probe-gap distribution,
+  preemption-timeliness sigma) that plugs into the scheduler simulation;
+* :mod:`repro.instrument.kernels` — 24 benchmark kernels standing in for the
+  Splash-2 / Phoenix / Parsec programs of Table 1.
+"""
+
+from repro.instrument.ir import (
+    BasicBlock,
+    Function,
+    Instr,
+    Module,
+    Terminator,
+)
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.cfg import ControlFlowGraph
+from repro.instrument.passes import (
+    CACHELINE_STYLE,
+    RDTSC_STYLE,
+    LoopUnrollPass,
+    ProbeInsertionPass,
+    VerifyError,
+    verify_function,
+)
+from repro.instrument.optim import (
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    optimize_function,
+)
+from repro.instrument.interp import ExecutionResult, Interpreter
+from repro.instrument.profile import InstrumentationProfile, profile_kernel
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "Instr",
+    "Module",
+    "Terminator",
+    "FunctionBuilder",
+    "ControlFlowGraph",
+    "CACHELINE_STYLE",
+    "RDTSC_STYLE",
+    "LoopUnrollPass",
+    "ProbeInsertionPass",
+    "VerifyError",
+    "verify_function",
+    "ConstantFoldingPass",
+    "DeadCodeEliminationPass",
+    "optimize_function",
+    "ExecutionResult",
+    "Interpreter",
+    "InstrumentationProfile",
+    "profile_kernel",
+]

@@ -1,0 +1,123 @@
+"""Fluent construction API for the IR, plus loop helpers used by the
+Table-1 kernels."""
+
+from repro.instrument.ir import Function, Instr, Terminator
+
+__all__ = ["FunctionBuilder"]
+
+
+class FunctionBuilder:
+    """Builds a :class:`~repro.instrument.ir.Function` incrementally.
+
+    >>> b = FunctionBuilder("double_n", params=["n"])
+    >>> b.li("two", 2)
+    'two'
+    >>> b.emit("mul", "result", "n", "two")
+    'result'
+    >>> b.ret("result")
+    >>> fn = b.function
+    >>> fn.instruction_count
+    2
+    """
+
+    def __init__(self, name, params=()):
+        self.function = Function(name, params)
+        self._current = self.function.add_block("entry")
+        self._temp = 0
+
+    # -- blocks ------------------------------------------------------------------
+
+    def block(self, label):
+        """Create a block and make it current."""
+        self._current = self.function.add_block(label)
+        return label
+
+    def switch_to(self, label):
+        """Make an existing block current (to fill it in later)."""
+        self._current = self.function.block(label)
+        return label
+
+    @property
+    def current_label(self):
+        return self._current.label
+
+    # -- instructions ---------------------------------------------------------------
+
+    def fresh(self, prefix="t"):
+        """A fresh temporary register name."""
+        self._temp += 1
+        return "{}{}".format(prefix, self._temp)
+
+    def emit(self, op, dst, *args, **attrs):
+        """Append ``op dst, args`` to the current block; returns ``dst``."""
+        self._current.append(Instr(op, dst, tuple(args), dict(attrs)))
+        return dst
+
+    def li(self, dst, value):
+        """Load an immediate."""
+        return self.emit("li", dst, value)
+
+    def ext_call(self, dst, name, cost_cycles):
+        """Call un-instrumented external code costing ``cost_cycles``."""
+        self._current.append(
+            Instr("ext_call", dst, (name,), {"cost": int(cost_cycles)})
+        )
+        return dst
+
+    def call(self, dst, callee, *args):
+        """Call another function in the module."""
+        return self.emit("call", dst, callee, *args)
+
+    # -- terminators -----------------------------------------------------------------
+
+    def jump(self, label):
+        self._current.terminate(Terminator("jump", (label,)))
+
+    def br(self, cond, then_label, else_label):
+        self._current.terminate(Terminator("br", (cond, then_label, else_label)))
+
+    def ret(self, value=None):
+        args = (value,) if value is not None else ()
+        self._current.terminate(Terminator("ret", args))
+
+    # -- structured helpers ----------------------------------------------------------
+
+    def counted_loop(self, name, trip_reg_or_imm, body):
+        """Emit ``for i in range(trip): body(i_reg)`` and return the loop's
+        induction register.
+
+        ``body`` is called once, with the builder positioned inside the loop
+        body block and the induction register name as argument; it must not
+        add terminators.  Control continues in the ``<name>.exit`` block.
+        """
+        i = "{}_i".format(name)
+        trip = "{}_n".format(name)
+        header = "{}.header".format(name)
+        body_label = "{}.body".format(name)
+        latch = "{}.latch".format(name)
+        exit_label = "{}.exit".format(name)
+
+        if isinstance(trip_reg_or_imm, str):
+            self.emit("mov", trip, trip_reg_or_imm)
+        else:
+            self.li(trip, trip_reg_or_imm)
+        self.li(i, 0)
+        self.jump(header)
+
+        self.block(header)
+        cond = self.fresh("cond")
+        self.emit("cmp_lt", cond, i, trip)
+        self.br(cond, body_label, exit_label)
+
+        self.block(body_label)
+        body(i)
+        self.jump(latch)
+
+        self.block(latch)
+        one = self.fresh("one")
+        self.li(one, 1)
+        self.emit("add", i, i, one)
+        self.jump(header)
+
+        self.block(exit_label)
+        return i

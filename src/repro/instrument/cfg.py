@@ -1,0 +1,124 @@
+"""Control-flow analysis: successors/predecessors, dominators, natural loops.
+
+The probe-insertion pass needs back edges (to probe loop iterations) and the
+unroll pass needs loop bodies with their sizes; both come from the classic
+dominator-based natural-loop construction.
+"""
+
+__all__ = ["ControlFlowGraph", "NaturalLoop"]
+
+
+class NaturalLoop:
+    """A natural loop: header block plus the body reachable backwards from
+    the back edge's source (the latch)."""
+
+    def __init__(self, header, latch, body):
+        self.header = header
+        self.latch = latch
+        self.body = frozenset(body)
+
+    def __repr__(self):
+        return "NaturalLoop(header={!r}, latch={!r}, |body|={})".format(
+            self.header, self.latch, len(self.body)
+        )
+
+
+class ControlFlowGraph:
+    """CFG over a :class:`~repro.instrument.ir.Function`."""
+
+    def __init__(self, function):
+        self.function = function
+        self.successors = {}
+        self.predecessors = {label: [] for label in function.blocks}
+        for label, block in function.blocks.items():
+            if block.terminator is None:
+                raise ValueError(
+                    "block {!r} in {!r} lacks a terminator".format(
+                        label, function.name
+                    )
+                )
+            succs = block.terminator.successors()
+            for succ in succs:
+                if succ not in function.blocks:
+                    raise ValueError(
+                        "block {!r} jumps to unknown label {!r}".format(label, succ)
+                    )
+            self.successors[label] = succs
+            for succ in succs:
+                self.predecessors[succ].append(label)
+
+    # -- reachability ------------------------------------------------------------
+
+    def reachable(self):
+        """Labels reachable from the entry block."""
+        seen = set()
+        stack = [self.function.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.successors[label])
+        return seen
+
+    # -- dominators ---------------------------------------------------------------
+
+    def dominators(self):
+        """Mapping label -> set of labels dominating it (iterative data-flow,
+        entry dominates everything it reaches)."""
+        reachable = self.reachable()
+        entry = self.function.entry
+        dom = {label: set(reachable) for label in reachable}
+        dom[entry] = {entry}
+        order = [l for l in self.function.block_order if l in reachable]
+        changed = True
+        while changed:
+            changed = False
+            for label in order:
+                if label == entry:
+                    continue
+                preds = [p for p in self.predecessors[label] if p in reachable]
+                if not preds:
+                    continue
+                new = set.intersection(*(dom[p] for p in preds))
+                new.add(label)
+                if new != dom[label]:
+                    dom[label] = new
+                    changed = True
+        return dom
+
+    # -- loops ------------------------------------------------------------------------
+
+    def back_edges(self):
+        """Edges (latch -> header) where the header dominates the latch."""
+        dom = self.dominators()
+        edges = []
+        for label in dom:
+            for succ in self.successors[label]:
+                if succ in dom.get(label, ()):
+                    edges.append((label, succ))
+        return edges
+
+    def natural_loops(self):
+        """All natural loops, one per back edge."""
+        loops = []
+        for latch, header in self.back_edges():
+            body = {header, latch}
+            stack = [latch]
+            while stack:
+                label = stack.pop()
+                if label == header:
+                    continue
+                for pred in self.predecessors[label]:
+                    if pred not in body:
+                        body.add(pred)
+                        stack.append(pred)
+            loops.append(NaturalLoop(header, latch, body))
+        return loops
+
+    def loop_body_instruction_count(self, loop):
+        """Non-probe instructions executed per iteration of ``loop`` (its
+        body blocks, excluding inner-loop multiplicities)."""
+        return sum(
+            self.function.block(label).instruction_count for label in loop.body
+        )

@@ -1,0 +1,414 @@
+"""A Python-function frontend for the instrumentation IR.
+
+The Concord compiler consumes LLVM IR produced from C/C++.  Our analogue
+lets users write kernels as a *restricted subset of Python* and compiles
+them — via the ``ast`` module — into the instrumentation IR, where the
+probe-insertion and unrolling passes, the interpreter, and the profiling
+pipeline treat them exactly like the built-in Table-1 kernels.
+
+Supported subset (enough to express Table-1-style kernels):
+
+* integer/float literals; local variables; function parameters
+* ``+ - * / // % << >> & | ^`` and comparisons ``< <= == != > >=``
+* ``for i in range(stop)`` / ``range(start, stop)`` / ``range(start, stop, step)``
+  with positive literal/variable bounds
+* ``while cond:`` loops
+* ``if / elif / else``
+* ``mem[index]`` loads and stores over the interpreter's flat memory
+* calls to other compiled functions in the same module
+* ``extern("name", cost)`` — a call into un-instrumented code
+* ``return expr``
+
+Example::
+
+    from repro.instrument.frontend import compile_module, extern, mem
+
+    def dot(n):
+        acc = 0.0
+        for i in range(n):
+            acc = acc + mem[i] * mem[i + 1024]
+        extern("prefetch", 120)
+        return acc
+
+    module = compile_module([dot], name="user")
+"""
+
+import ast
+import inspect
+import textwrap
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.ir import Module
+
+__all__ = ["CompileError", "compile_function", "compile_module", "extern",
+           "mem"]
+
+
+class CompileError(ValueError):
+    """The Python source uses a construct outside the supported subset."""
+
+
+def extern(name, cost):  # pragma: no cover - marker, never executed
+    """Marker for calls into un-instrumented code; only meaningful inside
+    functions passed to :func:`compile_function`."""
+    raise RuntimeError("extern() is a compile-time marker")
+
+
+class _Mem:  # pragma: no cover - marker, never executed
+    """Marker object for flat-memory access inside compiled kernels."""
+
+    def __getitem__(self, index):
+        raise RuntimeError("mem[] is a compile-time marker")
+
+    def __setitem__(self, index, value):
+        raise RuntimeError("mem[] is a compile-time marker")
+
+
+mem = _Mem()
+
+_BINOPS = {
+    ast.Add: ("add", "fadd"),
+    ast.Sub: ("sub", "fsub"),
+    ast.Mult: ("mul", "fmul"),
+    ast.Div: ("fdiv", "fdiv"),
+    ast.FloorDiv: ("div", "fdiv"),
+    ast.Mod: ("div", "fdiv"),  # costed like a division
+    ast.LShift: ("shl", "shl"),
+    ast.RShift: ("shr", "shr"),
+    ast.BitAnd: ("and", "and"),
+    ast.BitOr: ("or", "or"),
+    ast.BitXor: ("xor", "xor"),
+}
+
+_CMPOPS = {
+    ast.Lt: "cmp_lt",
+    ast.LtE: "cmp_le",
+    ast.Eq: "cmp_eq",
+    ast.NotEq: "cmp_ne",
+}
+
+
+class _FunctionCompiler(ast.NodeVisitor):
+    """Compiles one Python function body into IR."""
+
+    def __init__(self, func_def, known_functions):
+        self.name = func_def.name
+        params = [arg.arg for arg in func_def.args.args]
+        self.builder = FunctionBuilder(self.name, params=params)
+        self.known_functions = known_functions
+        self._loop_counter = 0
+        self._returned = False
+
+    # -- entry ------------------------------------------------------------------
+
+    def compile(self, body):
+        for statement in body:
+            if self._returned:
+                raise CompileError(
+                    "{}: unreachable code after return".format(self.name)
+                )
+            self.visit(statement)
+        if not self._returned:
+            self.builder.ret()
+        return self.builder.function
+
+    def _fail(self, node, message):
+        raise CompileError(
+            "{} (in {!r}, line {})".format(
+                message, self.name, getattr(node, "lineno", "?")
+            )
+        )
+
+    def _fresh_loop(self):
+        self._loop_counter += 1
+        return "L{}".format(self._loop_counter)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self, node):
+        """Compile an expression; returns a register name or a literal."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return 1 if node.value else 0
+            if isinstance(node.value, (int, float)):
+                return node.value
+            self._fail(node, "unsupported literal {!r}".format(node.value))
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                value = self._expr(node.operand)
+                if isinstance(value, (int, float)):
+                    return -value
+                dst = self.builder.fresh("neg")
+                self.builder.emit("sub", dst, 0, value)
+                return dst
+            if isinstance(node.op, ast.Not):
+                value = self._expr(node.operand)
+                dst = self.builder.fresh("not")
+                self.builder.emit("cmp_eq", dst, value, 0)
+                return dst
+            self._fail(node, "unsupported unary operator")
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.Subscript):
+            if not _is_mem(node.value):
+                self._fail(node, "only mem[...] subscripts are supported")
+            address = self._expr(node.slice)
+            dst = self.builder.fresh("ld")
+            self.builder.emit("load", dst, address)
+            return dst
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        self._fail(node, "unsupported expression {}".format(type(node).__name__))
+
+    def _binop(self, node):
+        left = self._expr(node.left)
+        right = self._expr(node.right)
+        ops = _BINOPS.get(type(node.op))
+        if ops is None:
+            self._fail(node, "unsupported operator {}".format(
+                type(node.op).__name__))
+        int_op, float_op = ops
+        # Pick the float form when either operand is a float literal; for
+        # registers the interpreter's Python semantics cover both, so the
+        # choice only affects the cycle cost model.
+        use_float = any(
+            isinstance(v, float) for v in (left, right)
+        ) or type(node.op) is ast.Div
+        dst = self.builder.fresh("t")
+        self.builder.emit(float_op if use_float else int_op, dst, left, right)
+        return dst
+
+    def _compare(self, node):
+        if len(node.ops) != 1:
+            self._fail(node, "chained comparisons are not supported")
+        op = type(node.ops[0])
+        left = self._expr(node.left)
+        right = self._expr(node.comparators[0])
+        dst = self.builder.fresh("c")
+        if op in _CMPOPS:
+            self.builder.emit(_CMPOPS[op], dst, left, right)
+        elif op is ast.Gt:
+            self.builder.emit("cmp_lt", dst, right, left)
+        elif op is ast.GtE:
+            self.builder.emit("cmp_le", dst, right, left)
+        else:
+            self._fail(node, "unsupported comparison")
+        return dst
+
+    def _call(self, node):
+        if not isinstance(node.func, ast.Name):
+            self._fail(node, "only direct calls are supported")
+        callee = node.func.id
+        if callee == "extern":
+            if (
+                len(node.args) != 2
+                or not isinstance(node.args[0], ast.Constant)
+                or not isinstance(node.args[1], ast.Constant)
+            ):
+                self._fail(node, 'extern() needs literal ("name", cost)')
+            dst = self.builder.fresh("ext")
+            self.builder.ext_call(dst, node.args[0].value,
+                                  int(node.args[1].value))
+            return dst
+        if callee in self.known_functions:
+            args = [self._expr(arg) for arg in node.args]
+            dst = self.builder.fresh("call")
+            self.builder.call(dst, callee, *args)
+            return dst
+        self._fail(node, "call to unknown function {!r}".format(callee))
+
+    # -- statements -----------------------------------------------------------------
+
+    def visit_Assign(self, node):
+        if len(node.targets) != 1:
+            self._fail(node, "multiple assignment targets not supported")
+        target = node.targets[0]
+        value = self._expr(node.value)
+        if isinstance(target, ast.Name):
+            self.builder.emit("mov", target.id, value)
+            return
+        if isinstance(target, ast.Subscript):
+            if not _is_mem(target.value):
+                self._fail(node, "only mem[...] stores are supported")
+            address = self._expr(target.slice)
+            self.builder.emit("store", None, value, address)
+            return
+        self._fail(node, "unsupported assignment target")
+
+    def visit_AugAssign(self, node):
+        if not isinstance(node.target, ast.Name):
+            self._fail(node, "augmented assignment needs a plain name")
+        synthetic = ast.BinOp(
+            left=ast.Name(id=node.target.id, ctx=ast.Load()),
+            op=node.op,
+            right=node.value,
+        )
+        ast.copy_location(synthetic, node)
+        ast.fix_missing_locations(synthetic)
+        value = self._binop(synthetic)
+        self.builder.emit("mov", node.target.id, value)
+
+    def visit_Return(self, node):
+        value = self._expr(node.value) if node.value is not None else None
+        self.builder.ret(value)
+        self._returned = True
+
+    def visit_Expr(self, node):
+        # Expression statements: extern(...) and bare calls for effect.
+        self._expr(node.value)
+
+    def visit_For(self, node):
+        if node.orelse:
+            self._fail(node, "for/else is not supported")
+        if not isinstance(node.target, ast.Name):
+            self._fail(node, "loop target must be a plain name")
+        if not (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+        ):
+            self._fail(node, "only range() loops are supported")
+        args = [self._expr(a) for a in node.iter.args]
+        if len(args) == 1:
+            start, stop, step = 0, args[0], 1
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], 1
+        elif len(args) == 3:
+            start, stop, step = args
+        else:
+            self._fail(node, "range() takes 1-3 arguments")
+
+        b = self.builder
+        name = self._fresh_loop()
+        induction = node.target.id
+        header = "{}.header".format(name)
+        body_label = "{}.body".format(name)
+        latch = "{}.latch".format(name)
+        exit_label = "{}.exit".format(name)
+
+        b.emit("mov", induction, start)
+        stop_reg = b.fresh("stop")
+        b.emit("mov", stop_reg, stop)
+        step_reg = b.fresh("step")
+        b.emit("mov", step_reg, step)
+        b.jump(header)
+
+        b.block(header)
+        cond = b.fresh("cond")
+        b.emit("cmp_lt", cond, induction, stop_reg)
+        b.br(cond, body_label, exit_label)
+
+        b.block(body_label)
+        for statement in node.body:
+            self.visit(statement)
+        b.jump(latch)
+
+        b.block(latch)
+        b.emit("add", induction, induction, step_reg)
+        b.jump(header)
+
+        b.block(exit_label)
+
+    def visit_While(self, node):
+        if node.orelse:
+            self._fail(node, "while/else is not supported")
+        b = self.builder
+        name = self._fresh_loop()
+        header = "{}.header".format(name)
+        body_label = "{}.body".format(name)
+        exit_label = "{}.exit".format(name)
+
+        b.jump(header)
+        b.block(header)
+        cond = self._expr(node.test)
+        b.br(cond, body_label, exit_label)
+
+        b.block(body_label)
+        for statement in node.body:
+            self.visit(statement)
+        b.jump(header)
+
+        b.block(exit_label)
+
+    def visit_If(self, node):
+        b = self.builder
+        name = self._fresh_loop()
+        then_label = "{}.then".format(name)
+        else_label = "{}.else".format(name)
+        join_label = "{}.join".format(name)
+
+        cond = self._expr(node.test)
+        b.br(cond, then_label, else_label if node.orelse else join_label)
+
+        b.block(then_label)
+        returned_then = False
+        for statement in node.body:
+            self.visit(statement)
+            returned_then = self._returned
+        self._returned = False
+        if not returned_then:
+            b.jump(join_label)
+
+        returned_else = False
+        if node.orelse:
+            b.block(else_label)
+            for statement in node.orelse:
+                self.visit(statement)
+                returned_else = self._returned
+            self._returned = False
+            if not returned_else:
+                b.jump(join_label)
+
+        b.block(join_label)
+        self._returned = returned_then and returned_else
+        if self._returned:
+            # Both arms returned: the join block is unreachable but must be
+            # well-formed.
+            b.ret()
+
+    def generic_visit(self, node):
+        self._fail(node, "unsupported statement {}".format(type(node).__name__))
+
+
+def _is_mem(node):
+    return isinstance(node, ast.Name) and node.id == "mem"
+
+
+def _parse_function(func):
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    func_def = tree.body[0]
+    if not isinstance(func_def, ast.FunctionDef):
+        raise CompileError("expected a plain function definition")
+    if func_def.args.kwonlyargs or func_def.args.vararg or func_def.args.kwarg:
+        raise CompileError(
+            "{}: only positional parameters are supported".format(func.__name__)
+        )
+    return func_def
+
+
+def compile_function(func, known_functions=()):
+    """Compile one Python function to an IR Function."""
+    func_def = _parse_function(func)
+    names = set(known_functions) | {func_def.name}
+    compiler = _FunctionCompiler(func_def, names)
+    return compiler.compile(func_def.body)
+
+
+def compile_module(funcs, name="compiled"):
+    """Compile Python functions into one IR module.
+
+    Functions may call each other; the entry point is the one named
+    ``main`` (or the single function).
+    """
+    if not funcs:
+        raise CompileError("no functions to compile")
+    known = {f.__name__ for f in funcs}
+    module = Module(name)
+    for func in funcs:
+        module.add(compile_function(func, known_functions=known))
+    return module

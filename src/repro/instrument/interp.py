@@ -1,0 +1,275 @@
+"""A cycle-counting interpreter for the instrumentation IR.
+
+Executes a module's entry function, charging each opcode its cost from
+:data:`repro.instrument.ir.OP_CYCLES` and each probe its style-dependent
+cost, honouring the unroll pass's periods and discounts.  The probe
+*timeline* (cumulative cycle time of every fired probe) is the raw material
+for instrumentation profiles: probe gaps bound preemption timeliness.
+"""
+
+from repro.instrument.ir import OP_CYCLES
+
+__all__ = ["ExecutionResult", "Interpreter", "InterpreterError"]
+
+
+class InterpreterError(RuntimeError):
+    """Raised on invalid programs or runaway execution."""
+
+
+class ExecutionResult:
+    """Outcome of one interpretation."""
+
+    __slots__ = (
+        "value",
+        "cycles",
+        "instructions",
+        "probes_fired",
+        "probe_times",
+    )
+
+    def __init__(self, value, cycles, instructions, probes_fired, probe_times):
+        self.value = value
+        self.cycles = cycles
+        self.instructions = instructions
+        self.probes_fired = probes_fired
+        self.probe_times = probe_times
+
+    def probe_gaps(self):
+        """Cycle gaps between consecutive fired probes."""
+        times = self.probe_times
+        return [times[i + 1] - times[i] for i in range(len(times) - 1)]
+
+    def __repr__(self):
+        return (
+            "ExecutionResult(cycles={}, instructions={}, probes={})".format(
+                self.cycles, self.instructions, self.probes_fired
+            )
+        )
+
+
+class Interpreter:
+    """Interprets one module.
+
+    Parameters
+    ----------
+    module:
+        The :class:`~repro.instrument.ir.Module` to execute.
+    memory_words:
+        Size of the flat data memory (addresses wrap modulo this size, so
+        kernels cannot escape it).
+    record_probes:
+        Keep the full probe timeline (needed for profiles; small overhead).
+    """
+
+    MAX_DEPTH = 64
+
+    def __init__(self, module, memory_words=1 << 16, record_probes=True):
+        self.module = module
+        self.memory = [0.0] * memory_words
+        self._memory_mask = memory_words - 1
+        if memory_words & self._memory_mask:
+            raise ValueError("memory_words must be a power of two")
+        self.record_probes = record_probes
+
+    def run(self, args=(), function=None, max_instructions=50_000_000,
+            preempt_check=None):
+        """Execute ``function`` (default: the module entry) with ``args``.
+
+        ``preempt_check``, if given, is called as ``preempt_check(cycles)``
+        at every fired probe — the hook the runtime uses to poll the
+        dispatcher's cache line.
+        """
+        if function is None:
+            function = self.module.entry_function()
+        state = _RunState(max_instructions, preempt_check, self.record_probes)
+        value = self._call(function, tuple(args), state, depth=0)
+        return ExecutionResult(
+            value=value,
+            cycles=int(round(state.cycles)),
+            instructions=state.instructions,
+            probes_fired=state.probes_fired,
+            probe_times=state.probe_times,
+        )
+
+    # -- execution --------------------------------------------------------------------
+
+    def _call(self, function, args, state, depth):
+        if depth > self.MAX_DEPTH:
+            raise InterpreterError(
+                "call depth exceeded in {!r}".format(function.name)
+            )
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                "{!r} expects {} args, got {}".format(
+                    function.name, len(function.params), len(args)
+                )
+            )
+        regs = dict(zip(function.params, args))
+        memory = self.memory
+        mask = self._memory_mask
+        label = function.entry
+        blocks = function.blocks
+
+        def value_of(x):
+            return regs[x] if type(x) is str else x
+
+        while True:
+            block = blocks[label]
+            for instr in block.instrs:
+                state.instructions += 1
+                if state.instructions > state.max_instructions:
+                    raise InterpreterError(
+                        "instruction budget exhausted in {!r}".format(
+                            function.name
+                        )
+                    )
+                op = instr.op
+                a = instr.args
+                if op == "probe":
+                    attrs = instr.attrs
+                    threshold = attrs.get("threshold")
+                    if threshold is not None:
+                        # Compiler-Interrupts semantics: a cheap counter
+                        # update on every visit; the expensive rdtsc() check
+                        # fires only once the interval threshold elapses.
+                        state.cycles += attrs.get("visit_cost", 0)
+                        if state.cycles - state.last_fire < threshold:
+                            continue
+                        state.last_fire = state.cycles
+                    else:
+                        period = attrs.get("period", 1)
+                        if period > 1:
+                            # Unrolled loop: the probe exists once per
+                            # unrolled body, i.e. every k logical iterations.
+                            count = attrs["_count"] = attrs.get("_count", 0) + 1
+                            if count % period:
+                                continue
+                    state.cycles += attrs["cost"]
+                    state.probes_fired += 1
+                    if state.record:
+                        state.probe_times.append(state.cycles)
+                    if state.preempt_check is not None:
+                        state.preempt_check(state.cycles)
+                    continue
+                discount = instr.attrs.get("discount") if instr.attrs else None
+                if op == "li" or op == "mov":
+                    regs[instr.dst] = value_of(a[0])
+                    cost = 1
+                elif op == "add":
+                    regs[instr.dst] = value_of(a[0]) + value_of(a[1])
+                    cost = 1
+                elif op == "sub":
+                    regs[instr.dst] = value_of(a[0]) - value_of(a[1])
+                    cost = 1
+                elif op == "mul":
+                    regs[instr.dst] = value_of(a[0]) * value_of(a[1])
+                    cost = 3
+                elif op == "div":
+                    divisor = value_of(a[1])
+                    regs[instr.dst] = value_of(a[0]) / divisor if divisor else 0.0
+                    cost = 20
+                elif op == "fadd" or op == "fsub":
+                    x, y = value_of(a[0]), value_of(a[1])
+                    regs[instr.dst] = x + y if op == "fadd" else x - y
+                    cost = 3
+                elif op == "fmul":
+                    regs[instr.dst] = value_of(a[0]) * value_of(a[1])
+                    cost = 4
+                elif op == "fdiv":
+                    divisor = value_of(a[1])
+                    regs[instr.dst] = value_of(a[0]) / divisor if divisor else 0.0
+                    cost = 14
+                elif op == "cmp_lt":
+                    regs[instr.dst] = 1 if value_of(a[0]) < value_of(a[1]) else 0
+                    cost = 1
+                elif op == "cmp_le":
+                    regs[instr.dst] = 1 if value_of(a[0]) <= value_of(a[1]) else 0
+                    cost = 1
+                elif op == "cmp_eq":
+                    regs[instr.dst] = 1 if value_of(a[0]) == value_of(a[1]) else 0
+                    cost = 1
+                elif op == "cmp_ne":
+                    regs[instr.dst] = 1 if value_of(a[0]) != value_of(a[1]) else 0
+                    cost = 1
+                elif op == "and":
+                    regs[instr.dst] = int(value_of(a[0])) & int(value_of(a[1]))
+                    cost = 1
+                elif op == "or":
+                    regs[instr.dst] = int(value_of(a[0])) | int(value_of(a[1]))
+                    cost = 1
+                elif op == "xor":
+                    regs[instr.dst] = int(value_of(a[0])) ^ int(value_of(a[1]))
+                    cost = 1
+                elif op == "shl":
+                    regs[instr.dst] = int(value_of(a[0])) << int(value_of(a[1]))
+                    cost = 1
+                elif op == "shr":
+                    regs[instr.dst] = int(value_of(a[0])) >> int(value_of(a[1]))
+                    cost = 1
+                elif op == "load":
+                    regs[instr.dst] = memory[int(value_of(a[0])) & mask]
+                    cost = 2
+                elif op == "store":
+                    memory[int(value_of(a[1])) & mask] = value_of(a[0])
+                    cost = 2
+                elif op == "ext_call":
+                    state.cycles += instr.attrs["cost"]
+                    if instr.dst is not None:
+                        regs[instr.dst] = 0
+                    continue
+                elif op == "call":
+                    callee = self.module.functions.get(a[0])
+                    if callee is None:
+                        raise InterpreterError(
+                            "call to unknown function {!r}".format(a[0])
+                        )
+                    state.cycles += OP_CYCLES["call"]
+                    call_args = tuple(value_of(x) for x in a[1:])
+                    regs[instr.dst] = self._call(
+                        callee, call_args, state, depth + 1
+                    )
+                    continue
+                else:  # pragma: no cover - opcode set is closed
+                    raise InterpreterError("unhandled opcode {!r}".format(op))
+                state.cycles += cost / discount if discount else cost
+
+            terminator = block.terminator
+            t_attrs = terminator.attrs
+            t_cost = 1.0 / t_attrs["discount"] if "discount" in t_attrs else 1.0
+            state.cycles += t_cost
+            op = terminator.op
+            if op == "jump":
+                label = terminator.args[0]
+            elif op == "br":
+                cond = terminator.args[0]
+                taken = regs[cond] if type(cond) is str else cond
+                label = terminator.args[1] if taken else terminator.args[2]
+            else:  # ret
+                if terminator.args:
+                    x = terminator.args[0]
+                    return regs[x] if type(x) is str else x
+                return None
+
+
+class _RunState:
+    __slots__ = (
+        "cycles",
+        "instructions",
+        "probes_fired",
+        "probe_times",
+        "max_instructions",
+        "preempt_check",
+        "record",
+        "last_fire",
+    )
+
+    def __init__(self, max_instructions, preempt_check, record):
+        self.cycles = 0.0
+        self.instructions = 0
+        self.probes_fired = 0
+        self.probe_times = []
+        self.max_instructions = max_instructions
+        self.preempt_check = preempt_check
+        self.record = record
+        # Cycle timestamp of the last threshold-style (rdtsc) probe firing.
+        self.last_fire = 0.0

@@ -1,0 +1,213 @@
+"""A small typed IR in the spirit of LLVM's, sufficient to reproduce the
+Concord compiler's behaviour.
+
+Programs are modules of functions; functions are CFGs of basic blocks; each
+block holds straight-line instructions and ends in exactly one terminator.
+Every opcode carries a cycle cost so the interpreter can attribute time the
+way the paper's overhead measurements do.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Instr", "Terminator", "BasicBlock", "Function", "Module",
+           "OP_CYCLES", "PROBE_CACHELINE_CYCLES", "PROBE_RDTSC_CYCLES"]
+
+#: Cycle cost of each straight-line opcode (rough Skylake-class latencies,
+#: treating loads/stores as L1 hits — the same idealization the paper's
+#: "~200 LLVM IR instructions per probe" rule rests on).
+OP_CYCLES = {
+    "li": 1,
+    "mov": 1,
+    "add": 1,
+    "sub": 1,
+    "and": 1,
+    "or": 1,
+    "xor": 1,
+    "shl": 1,
+    "shr": 1,
+    "mul": 3,
+    "div": 20,
+    "fadd": 3,
+    "fsub": 3,
+    "fmul": 4,
+    "fdiv": 14,
+    "cmp_lt": 1,
+    "cmp_le": 1,
+    "cmp_eq": 1,
+    "cmp_ne": 1,
+    "load": 2,
+    "store": 2,
+    "call": 5,       # plus the callee's own cycles
+    "ext_call": 0,   # cost carried per-site (the external code's runtime)
+    "probe": 0,      # cost depends on probe style; see passes
+}
+
+#: Cost of one Concord cache-line probe: L1 hit + compare (section 3.1).
+PROBE_CACHELINE_CYCLES = 2
+
+#: Cost of one rdtsc() probe (section 2.2.1).
+PROBE_RDTSC_CYCLES = 30
+
+_TERMINATOR_OPS = {"jump", "br", "ret"}
+
+
+@dataclass
+class Instr:
+    """One straight-line instruction.
+
+    ``op`` selects behaviour; ``dst`` names the destination register (or
+    None); ``args`` are register names, immediates, or — for calls — the
+    callee name.  ``attrs`` carries pass-added metadata (probe style/period,
+    external-call cost, unroll discounts).
+    """
+
+    op: str
+    dst: Optional[str] = None
+    args: Tuple = ()
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.op not in OP_CYCLES:
+            raise ValueError("unknown opcode {!r}".format(self.op))
+
+    @property
+    def is_probe(self):
+        return self.op == "probe"
+
+    @property
+    def is_ext_call(self):
+        return self.op == "ext_call"
+
+    def __repr__(self):
+        return "Instr({} {} {})".format(
+            self.op, self.dst or "_", ", ".join(map(str, self.args))
+        )
+
+
+@dataclass
+class Terminator:
+    """Block terminator: ``jump label``, ``br cond then else``, or ``ret``."""
+
+    op: str
+    args: Tuple = ()
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.op not in _TERMINATOR_OPS:
+            raise ValueError("unknown terminator {!r}".format(self.op))
+
+    def successors(self):
+        if self.op == "jump":
+            return [self.args[0]]
+        if self.op == "br":
+            return [self.args[1], self.args[2]]
+        return []
+
+    def __repr__(self):
+        return "Terminator({} {})".format(self.op, ", ".join(map(str, self.args)))
+
+
+class BasicBlock:
+    """A label, straight-line instructions, and one terminator."""
+
+    def __init__(self, label):
+        self.label = label
+        self.instrs: List[Instr] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, instr):
+        if self.terminator is not None:
+            raise ValueError(
+                "block {!r} already terminated".format(self.label)
+            )
+        self.instrs.append(instr)
+        return instr
+
+    def terminate(self, terminator):
+        if self.terminator is not None:
+            raise ValueError(
+                "block {!r} already terminated".format(self.label)
+            )
+        self.terminator = terminator
+
+    @property
+    def instruction_count(self):
+        """Instructions excluding probes — what the '200 LLVM IR
+        instructions' rule counts."""
+        return sum(1 for i in self.instrs if not i.is_probe)
+
+    def __repr__(self):
+        return "BasicBlock({!r}, {} instrs)".format(
+            self.label, len(self.instrs)
+        )
+
+
+class Function:
+    """A named CFG with an entry block and parameter registers."""
+
+    def __init__(self, name, params=()):
+        self.name = name
+        self.params = tuple(params)
+        self.blocks = {}
+        self.block_order = []
+        self.entry = None
+
+    def add_block(self, label):
+        if label in self.blocks:
+            raise ValueError("duplicate block label {!r}".format(label))
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        self.block_order.append(label)
+        if self.entry is None:
+            self.entry = label
+        return block
+
+    def block(self, label):
+        return self.blocks[label]
+
+    def iter_blocks(self):
+        """Blocks in insertion order."""
+        return (self.blocks[label] for label in self.block_order)
+
+    @property
+    def instruction_count(self):
+        return sum(b.instruction_count for b in self.iter_blocks())
+
+    def probe_count(self):
+        return sum(
+            1 for b in self.iter_blocks() for i in b.instrs if i.is_probe
+        )
+
+    def __repr__(self):
+        return "Function({!r}, {} blocks, {} instrs)".format(
+            self.name, len(self.blocks), self.instruction_count
+        )
+
+
+class Module:
+    """A set of functions; ``main`` (or the single function) is the entry."""
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.functions = {}
+
+    def add(self, function):
+        if function.name in self.functions:
+            raise ValueError("duplicate function {!r}".format(function.name))
+        self.functions[function.name] = function
+        return function
+
+    def entry_function(self):
+        if "main" in self.functions:
+            return self.functions["main"]
+        if len(self.functions) == 1:
+            return next(iter(self.functions.values()))
+        raise ValueError(
+            "module {!r} has no 'main' and multiple functions".format(self.name)
+        )
+
+    def __repr__(self):
+        return "Module({!r}, functions={})".format(
+            self.name, sorted(self.functions)
+        )

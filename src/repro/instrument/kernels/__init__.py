@@ -1,0 +1,19 @@
+"""Benchmark kernels standing in for the 24 Splash-2 / Phoenix / Parsec
+programs of Table 1.
+
+Each kernel is a factory returning a fresh IR module whose loop structure
+mimics its namesake's character — tight streaming loops (radix, histogram,
+linear_regression), nested numeric loops (water, lu, fft), call-heavy code
+(raytrace, volrend), and loops dominated by calls into un-instrumented
+library code (ocean's boundary exchange, dedup's hashing).  Those
+structural properties — not the actual physics — are what determine
+instrumentation overhead and preemption timeliness.
+"""
+
+from repro.instrument.kernels.registry import (
+    KERNELS,
+    KernelSpec,
+    kernel_by_name,
+)
+
+__all__ = ["KERNELS", "KernelSpec", "kernel_by_name"]

@@ -1,0 +1,36 @@
+"""Shared code-generation idioms for the benchmark kernels."""
+
+__all__ = ["emit_flops", "emit_stream_step", "emit_int_mix"]
+
+
+def emit_flops(b, acc, count, seed_reg=None):
+    """Emit ``count`` dependent floating-point operations accumulating into
+    register ``acc`` (which must already hold a value).  Returns ``acc``."""
+    operand = seed_reg or acc
+    for i in range(count):
+        op = ("fadd", "fmul", "fsub")[i % 3]
+        b.emit(op, acc, acc, operand)
+    return acc
+
+
+def emit_stream_step(b, base_addr, index_reg, work_ops):
+    """Emit one streaming-array step: load a[base+i], do ``work_ops``
+    arithmetic ops, store back.  Returns the value register."""
+    addr = b.fresh("addr")
+    b.emit("add", addr, base_addr, index_reg)
+    value = b.fresh("v")
+    b.emit("load", value, addr)
+    for i in range(work_ops):
+        op = ("fadd", "fmul")[i % 2]
+        b.emit(op, value, value, 1.0009 if i % 2 else 0.5)
+    b.emit("store", None, value, addr)
+    return value
+
+
+def emit_int_mix(b, reg, count):
+    """Emit ``count`` integer ops (shift/mask/add) on ``reg``."""
+    for i in range(count):
+        op = ("add", "xor", "shr", "and", "shl")[i % 5]
+        operand = (1, 0x5BD1E995, 1, 0xFFFF, 1)[i % 5]
+        b.emit(op, reg, reg, operand)
+    return reg

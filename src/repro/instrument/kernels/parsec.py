@@ -1,0 +1,145 @@
+"""Parsec kernel stand-ins (6 programs)."""
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.ir import Module
+from repro.instrument.kernels.common import emit_flops, emit_int_mix
+
+__all__ = [
+    "blackscholes", "fluidanimate", "swaptions", "canneal", "streamcluster",
+    "dedup",
+]
+
+
+def blackscholes(scale=1.0):
+    """Option pricing: a large float body with opaque exp/log per option."""
+    module = Module("blackscholes")
+    b = FunctionBuilder("main")
+    b.li("price", 0.0)
+
+    def per_option(i):
+        s = b.fresh("s")
+        b.emit("fmul", s, i, 0.01)
+        b.emit("fadd", s, s, 100.0)
+        d1 = b.fresh("d1")
+        b.emit("fdiv", d1, s, 95.0)
+        b.ext_call(b.fresh("lg"), "libm_log", 55)
+        emit_flops(b, "price", 60, seed_reg=d1)
+        b.ext_call(b.fresh("ex"), "libm_exp", 60)
+        b.emit("fadd", "price", "price", d1)
+
+    b.counted_loop("options", int(1600 * scale), per_option)
+    b.ret("price")
+    module.add(b.function)
+    return module
+
+
+def fluidanimate(scale=1.0):
+    """SPH fluid step: per-particle neighbor loop with a ~50-op body."""
+    module = Module("fluidanimate")
+    b = FunctionBuilder("main")
+    b.li("density", 0.0)
+
+    def per_particle(p):
+        def per_neighbor(nb):
+            r2 = b.fresh("r2")
+            b.emit("fsub", r2, p, nb)
+            b.emit("fmul", r2, r2, r2)
+            b.emit("fadd", r2, r2, 0.04)
+            w = b.fresh("w")
+            b.emit("fdiv", w, 1.0, r2)
+            emit_flops(b, "density", 44, seed_reg=w)
+
+        b.counted_loop("nb{}".format(id(p)), int(24 * scale) or 2, per_neighbor)
+
+    b.counted_loop("particles", int(130 * scale), per_particle)
+    b.ret("density")
+    module.add(b.function)
+    return module
+
+
+def swaptions(scale=1.0):
+    """HJM Monte-Carlo: per-path loop with an opaque RNG call and a ~70-op
+    simulation body."""
+    module = Module("swaptions")
+    b = FunctionBuilder("main")
+    b.li("value", 0.0)
+
+    def per_path(p):
+        b.ext_call(b.fresh("rng"), "rng_gaussian", 48)
+        rate = b.fresh("rate")
+        b.emit("fmul", rate, p, 0.0001)
+        b.emit("fadd", rate, rate, 0.03)
+        emit_flops(b, "value", 66, seed_reg=rate)
+
+    b.counted_loop("paths", int(2300 * scale), per_path)
+    b.ret("value")
+    module.add(b.function)
+    return module
+
+
+def canneal(scale=1.0):
+    """Simulated annealing for routing: random element swaps with an opaque
+    RNG call and a moderate evaluation body."""
+    module = Module("canneal")
+    b = FunctionBuilder("main")
+    b.li("cost", 1000.0)
+
+    def per_move(m):
+        b.ext_call(b.fresh("rng"), "rng_next", 30)
+        a = b.fresh("a")
+        b.emit("and", a, m, 0x3FF)
+        elem = b.fresh("e")
+        b.emit("load", elem, a)
+        delta = b.fresh("dl")
+        b.emit("fsub", delta, elem, "cost")
+        b.emit("fmul", delta, delta, 0.001)
+        emit_flops(b, "cost", 26, seed_reg=delta)
+        b.emit("store", None, "cost", a)
+
+    b.counted_loop("moves", int(4200 * scale), per_move)
+    b.ret("cost")
+    module.add(b.function)
+    return module
+
+
+def streamcluster(scale=1.0):
+    """Online clustering: distance evaluations in a ~25-op body."""
+    module = Module("streamcluster")
+    b = FunctionBuilder("main")
+    b.li("opened", 0.0)
+
+    def per_point(p):
+        def per_center(c):
+            d = b.fresh("d")
+            b.emit("fsub", d, p, c)
+            b.emit("fmul", d, d, d)
+            emit_flops(b, "opened", 20, seed_reg=d)
+
+        b.counted_loop("ctr{}".format(id(p)), int(18 * scale) or 2, per_center)
+
+    b.counted_loop("pts", int(380 * scale), per_point)
+    b.ret("opened")
+    module.add(b.function)
+    return module
+
+
+def dedup(scale=1.0):
+    """Chunking + dedup: per-chunk rolling fingerprint then an opaque SHA1
+    over the chunk — long un-instrumented stretches."""
+    module = Module("dedup")
+    b = FunctionBuilder("main")
+    b.li("unique", 0)
+
+    def per_chunk(c):
+        fp = b.fresh("fp")
+        b.emit("mov", fp, c)
+        emit_int_mix(b, fp, 30)
+        b.ext_call(b.fresh("sha"), "sha1_block", 2600)
+        bit = b.fresh("bit")
+        b.emit("and", bit, fp, 1)
+        b.emit("add", "unique", "unique", bit)
+
+    b.counted_loop("chunks", int(280 * scale), per_chunk)
+    b.ret("unique")
+    module.add(b.function)
+    return module

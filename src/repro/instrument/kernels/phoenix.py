@@ -1,0 +1,157 @@
+"""Phoenix kernel stand-ins (6 map-reduce style programs).
+
+These are the tight, streaming loops where naive probe placement is most
+expensive (Table 1: linear_regression costs Compiler Interrupts 37%).
+"""
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.ir import Module
+from repro.instrument.kernels.common import emit_flops, emit_int_mix
+
+__all__ = [
+    "histogram", "kmeans", "pca", "string_match", "linear_regression",
+    "word_count",
+]
+
+
+def histogram(scale=1.0):
+    """Pixel histogram: load, shift, bucket increment — an 8-op body."""
+    module = Module("histogram")
+    b = FunctionBuilder("main")
+    b.li("count", 0)
+
+    def per_pixel(i):
+        pixel = b.fresh("px")
+        b.emit("load", pixel, i)
+        bucket = b.fresh("bk")
+        b.emit("shr", bucket, i, 4)
+        b.emit("and", bucket, bucket, 0xFF)
+        old = b.fresh("old")
+        b.emit("load", old, bucket)
+        b.emit("add", old, old, 1)
+        b.emit("store", None, old, bucket)
+        b.emit("add", "count", "count", 1)
+
+    b.counted_loop("pixels", int(20000 * scale), per_pixel)
+    b.ret("count")
+    module.add(b.function)
+    return module
+
+
+def kmeans(scale=1.0):
+    """K-means assignment: per-point loop over clusters + opaque sqrt."""
+    module = Module("kmeans")
+    b = FunctionBuilder("main")
+    b.li("inertia", 0.0)
+
+    def per_point(p):
+        best = b.fresh("best")
+        b.li(best, 1e18)
+
+        def per_cluster(c):
+            d = b.fresh("d")
+            b.emit("fsub", d, p, c)
+            b.emit("fmul", d, d, d)
+            b.emit("fadd", d, d, 0.5)
+            emit_flops(b, best, 9, seed_reg=d)
+
+        b.counted_loop("clu{}".format(id(p)), int(16 * scale) or 2, per_cluster)
+        b.ext_call(b.fresh("sq"), "libm_sqrt", 45)
+        b.emit("fadd", "inertia", "inertia", best)
+
+    b.counted_loop("points", int(900 * scale), per_point)
+    b.ret("inertia")
+    module.add(b.function)
+    return module
+
+
+def pca(scale=1.0):
+    """Covariance accumulation: nested dimension loops, ~20-op body."""
+    module = Module("pca")
+    b = FunctionBuilder("main")
+    b.li("cov", 0.0)
+
+    def per_row(r):
+        def per_dim(d):
+            x = b.fresh("x")
+            b.emit("fmul", x, r, 0.013)
+            y = b.fresh("y")
+            b.emit("fmul", y, d, 0.007)
+            prod = b.fresh("pr")
+            b.emit("fmul", prod, x, y)
+            emit_flops(b, "cov", 14, seed_reg=prod)
+
+        b.counted_loop("dim{}".format(id(r)), int(48 * scale), per_dim)
+
+    b.counted_loop("rowsp", int(130 * scale), per_row)
+    b.ret("cov")
+    module.add(b.function)
+    return module
+
+
+def string_match(scale=1.0):
+    """Keyword scan: per-character compare loop, ~10-op body."""
+    module = Module("string_match")
+    b = FunctionBuilder("main")
+    b.li("matches", 0)
+
+    def per_char(i):
+        ch = b.fresh("ch")
+        b.emit("load", ch, i)
+        key = b.fresh("key")
+        b.emit("and", key, i, 0x7F)
+        eq = b.fresh("eq")
+        b.emit("cmp_eq", eq, ch, key)
+        b.emit("add", "matches", "matches", eq)
+        h = b.fresh("h")
+        b.emit("xor", h, i, 0x45D9F3B)
+        b.emit("shr", h, h, 3)
+        b.emit("add", "matches", "matches", 0)
+
+    b.counted_loop("chars", int(17000 * scale), per_char)
+    b.ret("matches")
+    module.add(b.function)
+    return module
+
+
+def linear_regression(scale=1.0):
+    """Sum-of-products over samples: the tightest loop in the suite —
+     7 ops per iteration, the worst case for naive probing."""
+    module = Module("linear_regression")
+    b = FunctionBuilder("main")
+    b.li("sx", 0.0)
+    b.li("sxx", 0.0)
+
+    def per_sample(i):
+        x = b.fresh("x")
+        b.emit("load", x, i)
+        b.emit("fadd", "sx", "sx", x)
+        xx = b.fresh("xx")
+        b.emit("fmul", xx, x, x)
+        b.emit("fadd", "sxx", "sxx", xx)
+
+    b.counted_loop("samples", int(26000 * scale), per_sample)
+    b.emit("fadd", "sx", "sx", "sxx")
+    b.ret("sx")
+    module.add(b.function)
+    return module
+
+
+def word_count(scale=1.0):
+    """Tokenize-and-count: branchy per-word body plus an opaque hash-table
+    probe per word."""
+    module = Module("word_count")
+    b = FunctionBuilder("main")
+    b.li("words", 0)
+
+    def per_token(i):
+        h = b.fresh("h")
+        b.emit("mov", h, i)
+        emit_int_mix(b, h, 10)
+        b.ext_call(b.fresh("ht"), "hashtable_insert", 140)
+        b.emit("add", "words", "words", 1)
+
+    b.counted_loop("tokens", int(2600 * scale), per_token)
+    b.ret("words")
+    module.add(b.function)
+    return module

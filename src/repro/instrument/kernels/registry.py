@@ -1,0 +1,62 @@
+"""Registry mapping Table 1's 24 benchmark names to kernel factories."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.instrument.kernels import parsec, phoenix, splash2
+
+__all__ = ["KernelSpec", "KERNELS", "kernel_by_name"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One Table-1 row: program name, suite, and module factory."""
+
+    name: str
+    suite: str
+    factory: Callable
+
+    def build(self, scale=1.0):
+        return self.factory(scale=scale)
+
+
+KERNELS = [
+    KernelSpec("water-nsquared", "Splash-2", splash2.water_nsquared),
+    KernelSpec("water-spatial", "Splash-2", splash2.water_spatial),
+    KernelSpec("ocean-cp", "Splash-2", splash2.ocean_cp),
+    KernelSpec("ocean-ncp", "Splash-2", splash2.ocean_ncp),
+    KernelSpec("volrend", "Splash-2", splash2.volrend),
+    KernelSpec("fmm", "Splash-2", splash2.fmm),
+    KernelSpec("raytrace", "Splash-2", splash2.raytrace),
+    KernelSpec("radix", "Splash-2", splash2.radix),
+    KernelSpec("fft", "Splash-2", splash2.fft),
+    KernelSpec("lu-c", "Splash-2", splash2.lu_contiguous),
+    KernelSpec("lu-nc", "Splash-2", splash2.lu_noncontiguous),
+    KernelSpec("cholesky", "Splash-2", splash2.cholesky),
+    KernelSpec("histogram", "Phoenix", phoenix.histogram),
+    KernelSpec("kmeans", "Phoenix", phoenix.kmeans),
+    KernelSpec("pca", "Phoenix", phoenix.pca),
+    KernelSpec("string_match", "Phoenix", phoenix.string_match),
+    KernelSpec("linear_regression", "Phoenix", phoenix.linear_regression),
+    KernelSpec("word_count", "Phoenix", phoenix.word_count),
+    KernelSpec("blackscholes", "Parsec", parsec.blackscholes),
+    KernelSpec("fluidanimate", "Parsec", parsec.fluidanimate),
+    KernelSpec("swapoptions", "Parsec", parsec.swaptions),
+    KernelSpec("canneal", "Parsec", parsec.canneal),
+    KernelSpec("streamcluster", "Parsec", parsec.streamcluster),
+    KernelSpec("dedup", "Parsec", parsec.dedup),
+]
+
+_BY_NAME = {spec.name: spec for spec in KERNELS}
+
+
+def kernel_by_name(name):
+    """Look up a Table-1 kernel by its program name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            "unknown kernel {!r}; known: {}".format(
+                name, ", ".join(sorted(_BY_NAME))
+            )
+        ) from None

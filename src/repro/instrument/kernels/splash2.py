@@ -1,0 +1,340 @@
+"""Splash-2 kernel stand-ins (12 programs).
+
+Sizes are chosen so each kernel runs roughly 0.4-1.5M cycles un-instrumented
+— long enough for stable overhead and timeliness statistics, short enough to
+interpret quickly.  ``scale`` shrinks trip counts for fast test/bench runs.
+"""
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.ir import Module
+from repro.instrument.kernels.common import emit_flops, emit_stream_step
+
+__all__ = [
+    "water_nsquared", "water_spatial", "ocean_cp", "ocean_ncp", "volrend",
+    "fmm", "raytrace", "radix", "fft", "lu_contiguous", "lu_noncontiguous",
+    "cholesky",
+]
+
+
+def water_nsquared(scale=1.0):
+    """O(n^2) pairwise molecular forces: nested loops, ~45-op body."""
+    module = Module("water-nsquared")
+    b = FunctionBuilder("main")
+    b.li("force", 1.0)
+
+    def outer(i):
+        def inner(j):
+            dx = b.fresh("dx")
+            b.emit("fsub", dx, i, j)
+            b.emit("fmul", dx, dx, dx)
+            b.emit("fadd", dx, dx, 0.001)
+            inv = b.fresh("inv")
+            b.emit("fdiv", inv, 1.0, dx)
+            emit_flops(b, "force", 38, seed_reg=inv)
+
+        b.counted_loop("inner{}".format(id(i)), int(90 * scale), inner)
+
+    b.counted_loop("outer", int(90 * scale), outer)
+    b.ret("force")
+    module.add(b.function)
+    return module
+
+
+def water_spatial(scale=1.0):
+    """Cell-list variant: outer cell loop, denser ~60-op body."""
+    module = Module("water-spatial")
+    b = FunctionBuilder("main")
+    b.li("acc", 0.5)
+
+    def per_cell(c):
+        def per_mol(m):
+            r = b.fresh("r")
+            b.emit("fadd", r, c, m)
+            b.emit("fmul", r, r, 0.25)
+            emit_flops(b, "acc", 55, seed_reg=r)
+
+        b.counted_loop("mol{}".format(id(c)), int(70 * scale), per_mol)
+
+    b.counted_loop("cells", int(100 * scale), per_cell)
+    b.ret("acc")
+    module.add(b.function)
+    return module
+
+
+def ocean_cp(scale=1.0):
+    """Grid relaxation with a per-row halo exchange into un-instrumented
+    communication code — the long opaque calls that make its preemption
+    timeliness the worst of the suite (1.8us in Table 1)."""
+    module = Module("ocean-cp")
+    b = FunctionBuilder("main")
+    b.li("sum", 0.0)
+
+    def per_row(r):
+        b.ext_call(b.fresh("halo"), "halo_exchange", 15000)
+
+        def per_col(c):
+            addr = b.fresh("a")
+            b.emit("mul", addr, r, 128)
+            b.emit("add", addr, addr, c)
+            v = b.fresh("v")
+            b.emit("load", v, addr)
+            emit_flops(b, "sum", 20, seed_reg=v)
+            b.emit("store", None, "sum", addr)
+
+        b.counted_loop("col{}".format(id(r)), int(120 * scale), per_col)
+
+    b.counted_loop("rows", int(60 * scale), per_row)
+    b.ret("sum")
+    module.add(b.function)
+    return module
+
+
+def ocean_ncp(scale=1.0):
+    """Non-contiguous-partition ocean: strided accesses, shorter halo."""
+    module = Module("ocean-ncp")
+    b = FunctionBuilder("main")
+    b.li("sum", 0.0)
+
+    def per_row(r):
+        b.ext_call(b.fresh("halo"), "halo_exchange", 7500)
+
+        def per_col(c):
+            stride = b.fresh("s")
+            b.emit("mul", stride, c, 64)
+            b.emit("add", stride, stride, r)
+            v = b.fresh("v")
+            b.emit("load", v, stride)
+            emit_flops(b, "sum", 16, seed_reg=v)
+
+        b.counted_loop("col{}".format(id(r)), int(110 * scale), per_col)
+
+    b.counted_loop("rows", int(65 * scale), per_row)
+    b.ret("sum")
+    module.add(b.function)
+    return module
+
+
+def volrend(scale=1.0):
+    """Volume rendering: a per-ray helper call with a branchy body."""
+    module = Module("volrend")
+
+    shade = FunctionBuilder("shade", params=["sample"])
+    shade.emit("fmul", "lit", "sample", 0.8)
+    emit_flops(shade, "lit", 22, seed_reg="sample")
+    shade.ret("lit")
+    module.add(shade.function)
+
+    b = FunctionBuilder("main")
+    b.li("image", 0.0)
+
+    def per_ray(ray):
+        def per_sample(s):
+            opacity = b.fresh("op")
+            b.emit("mul", opacity, ray, 17)
+            b.emit("add", opacity, opacity, s)
+            b.emit("and", opacity, opacity, 0x3F)
+            lit = b.fresh("lit")
+            b.call(lit, "shade", opacity)
+            b.emit("fadd", "image", "image", lit)
+
+        b.counted_loop("samp{}".format(id(ray)), int(25 * scale), per_sample)
+
+    b.counted_loop("rays", int(220 * scale), per_ray)
+    b.ret("image")
+    module.add(b.function)
+    return module
+
+
+def fmm(scale=1.0):
+    """Fast multipole: hierarchical interactions via a helper per cell pair."""
+    module = Module("fmm")
+
+    interact = FunctionBuilder("interact", params=["a", "b"])
+    interact.emit("fsub", "d", "a", "b")
+    interact.emit("fmul", "d", "d", "d")
+    interact.emit("fadd", "d", "d", 0.01)
+    interact.emit("fdiv", "pot", 1.0, "d")
+    emit_flops(interact, "pot", 30, seed_reg="d")
+    interact.ret("pot")
+    module.add(interact.function)
+
+    b = FunctionBuilder("main")
+    b.li("energy", 0.0)
+
+    def per_cell(c):
+        def per_neighbor(nb):
+            p = b.fresh("p")
+            b.call(p, "interact", c, nb)
+            b.emit("fadd", "energy", "energy", p)
+
+        b.counted_loop("nb{}".format(id(c)), int(27 * scale), per_neighbor)
+
+    b.counted_loop("cells", int(170 * scale), per_cell)
+    b.ret("energy")
+    module.add(b.function)
+    return module
+
+
+def raytrace(scale=1.0):
+    """Per-ray trace() call doing intersection tests — call-dominated."""
+    module = Module("raytrace")
+
+    trace = FunctionBuilder("trace", params=["ray"])
+    trace.li("hit", 0.0)
+
+    def per_object(obj):
+        t = trace.fresh("t")
+        trace.emit("fmul", t, "ray", 0.37)
+        trace.emit("fsub", t, t, obj)
+        trace.emit("fmul", t, t, t)
+        emit_flops(trace, "hit", 8, seed_reg=t)
+
+    trace.counted_loop("objs", int(14 * scale) or 1, per_object)
+    trace.ret("hit")
+    module.add(trace.function)
+
+    b = FunctionBuilder("main")
+    b.li("frame", 0.0)
+
+    def per_ray(ray):
+        color = b.fresh("c")
+        b.call(color, "trace", ray)
+        b.emit("fadd", "frame", "frame", color)
+
+    b.counted_loop("rays", int(900 * scale), per_ray)
+    b.ret("frame")
+    module.add(b.function)
+    return module
+
+
+def radix(scale=1.0):
+    """Radix sort counting pass: tight integer shift/mask/increment body —
+    the kind of loop that must be unrolled to probe cheaply."""
+    module = Module("radix")
+    b = FunctionBuilder("main")
+    b.li("checksum", 0)
+
+    def per_key(i):
+        key = b.fresh("k")
+        b.emit("mul", key, i, 2654435761)
+        b.emit("shr", key, key, 11)
+        b.emit("and", key, key, 0xFF)
+        slot = b.fresh("s")
+        b.emit("load", slot, key)
+        b.emit("add", slot, slot, 1)
+        b.emit("store", None, slot, key)
+        b.emit("add", "checksum", "checksum", key)
+
+    b.counted_loop("keys", int(22000 * scale), per_key)
+    b.ret("checksum")
+    module.add(b.function)
+    return module
+
+
+def fft(scale=1.0):
+    """Iterative FFT: log-passes over the array, butterfly body ~30 ops."""
+    module = Module("fft")
+    b = FunctionBuilder("main")
+    b.li("acc", 1.0)
+
+    def per_pass(p):
+        def per_butterfly(k):
+            tw = b.fresh("tw")
+            b.emit("fmul", tw, p, 0.196)
+            b.emit("fadd", tw, tw, k)
+            even = emit_stream_step(b, 0, k, 8)
+            odd = b.fresh("odd")
+            b.emit("fmul", odd, even, tw)
+            emit_flops(b, "acc", 12, seed_reg=odd)
+
+        b.counted_loop("bf{}".format(id(p)), int(450 * scale), per_butterfly)
+
+    b.counted_loop("passes", 12, per_pass)
+    b.ret("acc")
+    module.add(b.function)
+    return module
+
+
+def lu_contiguous(scale=1.0):
+    """Blocked LU: helper daxpy over block rows, medium body."""
+    module = Module("lu-c")
+
+    daxpy = FunctionBuilder("daxpy", params=["alpha", "row"])
+    daxpy.li("acc", 0.0)
+
+    def per_elem(j):
+        v = daxpy.fresh("v")
+        daxpy.emit("fmul", v, "alpha", j)
+        daxpy.emit("fadd", v, v, "row")
+        emit_flops(daxpy, "acc", 5, seed_reg=v)
+
+    daxpy.counted_loop("elems", int(24 * scale) or 1, per_elem)
+    daxpy.ret("acc")
+    module.add(daxpy.function)
+
+    b = FunctionBuilder("main")
+    b.li("det", 1.0)
+
+    def per_pivot(k):
+        def per_row(r):
+            alpha = b.fresh("al")
+            b.emit("fadd", alpha, k, r)
+            b.emit("fmul", alpha, alpha, 0.031)
+            contrib = b.fresh("ct")
+            b.call(contrib, "daxpy", alpha, r)
+            b.emit("fadd", "det", "det", contrib)
+
+        b.counted_loop("rows{}".format(id(k)), int(45 * scale), per_row)
+
+    b.counted_loop("pivots", int(45 * scale), per_pivot)
+    b.ret("det")
+    module.add(b.function)
+    return module
+
+
+def lu_noncontiguous(scale=1.0):
+    """Unblocked LU: tighter inner body with strided loads."""
+    module = Module("lu-nc")
+    b = FunctionBuilder("main")
+    b.li("det", 1.0)
+
+    def per_pivot(k):
+        def per_elem(j):
+            addr = b.fresh("a")
+            b.emit("mul", addr, j, 257)
+            b.emit("add", addr, addr, k)
+            v = b.fresh("v")
+            b.emit("load", v, addr)
+            b.emit("fmul", v, v, 0.999)
+            b.emit("fadd", "det", "det", v)
+            b.emit("store", None, v, addr)
+
+        b.counted_loop("el{}".format(id(k)), int(260 * scale), per_elem)
+
+    b.counted_loop("pivots", int(90 * scale), per_pivot)
+    b.ret("det")
+    module.add(b.function)
+    return module
+
+
+def cholesky(scale=1.0):
+    """Sparse Cholesky: nested supernode loops + an opaque sqrt per column."""
+    module = Module("cholesky")
+    b = FunctionBuilder("main")
+    b.li("acc", 1.0)
+
+    def per_col(c):
+        b.ext_call(b.fresh("sq"), "libm_sqrt", 45)
+
+        def per_update(u):
+            v = b.fresh("v")
+            b.emit("fmul", v, c, 0.5)
+            b.emit("fsub", v, v, u)
+            emit_flops(b, "acc", 24, seed_reg=v)
+
+        b.counted_loop("upd{}".format(id(c)), int(55 * scale), per_update)
+
+    b.counted_loop("cols", int(120 * scale), per_col)
+    b.ret("acc")
+    module.add(b.function)
+    return module

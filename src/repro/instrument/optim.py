@@ -1,0 +1,167 @@
+"""Classic scalar optimizations for the instrumentation IR.
+
+The baseline the paper measures against is ``-O3`` code.  Beyond the loop
+treatment in :class:`~repro.instrument.passes.BaselineOptimizePass`, real
+compilers fold constants and delete dead code; these passes do the same on
+our IR so hand-written or frontend-generated kernels aren't accidentally
+penalized for redundancy the stock compiler would remove.
+
+* :class:`ConstantFoldingPass` — evaluates instructions whose operands are
+  all literals, propagates the results, and iterates to a fixed point
+  within each block.
+* :class:`DeadCodeEliminationPass` — removes instructions whose
+  destinations are never read (liveness over the whole function,
+  effect-free opcodes only).
+* :func:`optimize_function` — the standard pipeline (fold, then DCE,
+  repeated until nothing changes).
+"""
+
+from repro.instrument.ir import Instr
+
+__all__ = [
+    "ConstantFoldingPass",
+    "DeadCodeEliminationPass",
+    "optimize_function",
+]
+
+#: Opcodes with no side effects: safe to fold and to delete when dead.
+_PURE_OPS = {
+    "li", "mov", "add", "sub", "mul", "div", "and", "or", "xor", "shl",
+    "shr", "fadd", "fsub", "fmul", "fdiv", "cmp_lt", "cmp_le", "cmp_eq",
+    "cmp_ne", "load",
+}
+
+#: Of the pure ops, those computable at compile time from literal operands
+#: ("load" is excluded: memory contents are runtime state).
+_FOLDABLE = _PURE_OPS - {"load"}
+
+
+def _as_int(x):
+    return int(x)
+
+
+_EVALUATORS = {
+    "li": lambda a: a[0],
+    "mov": lambda a: a[0],
+    "add": lambda a: a[0] + a[1],
+    "sub": lambda a: a[0] - a[1],
+    "mul": lambda a: a[0] * a[1],
+    "div": lambda a: (a[0] / a[1]) if a[1] else 0.0,
+    "and": lambda a: _as_int(a[0]) & _as_int(a[1]),
+    "or": lambda a: _as_int(a[0]) | _as_int(a[1]),
+    "xor": lambda a: _as_int(a[0]) ^ _as_int(a[1]),
+    "shl": lambda a: _as_int(a[0]) << _as_int(a[1]),
+    "shr": lambda a: _as_int(a[0]) >> _as_int(a[1]),
+    "fadd": lambda a: a[0] + a[1],
+    "fsub": lambda a: a[0] - a[1],
+    "fmul": lambda a: a[0] * a[1],
+    "fdiv": lambda a: (a[0] / a[1]) if a[1] else 0.0,
+    "cmp_lt": lambda a: 1 if a[0] < a[1] else 0,
+    "cmp_le": lambda a: 1 if a[0] <= a[1] else 0,
+    "cmp_eq": lambda a: 1 if a[0] == a[1] else 0,
+    "cmp_ne": lambda a: 1 if a[0] != a[1] else 0,
+}
+
+
+class ConstantFoldingPass:
+    """Block-local constant folding and copy propagation.
+
+    Registers assigned a literal by a pure instruction are tracked within
+    the block; later uses are rewritten to the literal, and instructions
+    whose operands all become literals are folded into ``li``.  Tracking
+    resets at block boundaries (no dataflow join) and at any instruction
+    that may write the register unpredictably (calls).
+    """
+
+    def run(self, function):
+        folded = 0
+        for block in function.iter_blocks():
+            known = {}
+            for instr in block.instrs:
+                if instr.is_probe:
+                    continue
+                # Rewrite known-literal operands (not for calls: their
+                # first arg is a callee name).
+                if instr.op not in ("call", "ext_call"):
+                    new_args = tuple(
+                        known.get(a, a) if isinstance(a, str) else a
+                        for a in instr.args
+                    )
+                    if new_args != instr.args:
+                        instr.args = new_args
+                        folded += 1
+                if instr.op in _FOLDABLE and all(
+                    not isinstance(a, str) for a in instr.args
+                ):
+                    value = _EVALUATORS[instr.op](instr.args)
+                    if instr.op != "li":
+                        instr.op = "li"
+                        folded += 1
+                    instr.args = (value,)
+                    if instr.dst is not None:
+                        known[instr.dst] = value
+                elif instr.dst is not None:
+                    known.pop(instr.dst, None)
+            # Terminator condition may also be known.
+            terminator = block.terminator
+            if terminator is not None and terminator.op == "br":
+                cond = terminator.args[0]
+                if isinstance(cond, str) and cond in known:
+                    terminator.args = (known[cond],) + terminator.args[1:]
+                    folded += 1
+        return folded
+
+
+class DeadCodeEliminationPass:
+    """Remove pure instructions whose destination is never read.
+
+    Liveness is computed as the set of all register names appearing as
+    operands anywhere in the function (arguments of instructions, calls,
+    and terminators) — conservative and sound without SSA.
+    """
+
+    def run(self, function):
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            used = set(function.params)
+            for block in function.iter_blocks():
+                for instr in block.instrs:
+                    args = instr.args
+                    if instr.op in ("call", "ext_call"):
+                        args = instr.args[1:]
+                    for a in args:
+                        if isinstance(a, str):
+                            used.add(a)
+                if block.terminator is not None:
+                    for a in block.terminator.args:
+                        if isinstance(a, str):
+                            used.add(a)
+            for block in function.iter_blocks():
+                keep = []
+                for instr in block.instrs:
+                    dead = (
+                        instr.op in _PURE_OPS
+                        and instr.dst is not None
+                        and instr.dst not in used
+                    )
+                    if dead:
+                        removed += 1
+                        changed = True
+                    else:
+                        keep.append(instr)
+                block.instrs = keep
+        return removed
+
+
+def optimize_function(function, max_rounds=4):
+    """Run fold + DCE to a fixed point; returns total changes."""
+    total = 0
+    for _ in range(max_rounds):
+        changes = ConstantFoldingPass().run(function)
+        changes += DeadCodeEliminationPass().run(function)
+        total += changes
+        if not changes:
+            break
+    return total

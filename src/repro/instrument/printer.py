@@ -1,0 +1,154 @@
+"""Textual form for the instrumentation IR: dump and parse.
+
+A human-readable dump makes pass behaviour inspectable (`print(dump(fn))`
+after probe insertion shows exactly where probes landed), and the parser
+round-trips it so IR fixtures can live in text.
+
+Format::
+
+    func @main(n) {
+    entry:
+      li acc, 0
+      jump L1.header
+    L1.header:
+      cmp_lt c1, L1_i, L1_n
+      br c1, L1.body, L1.exit
+    ...
+    }
+"""
+
+from repro.instrument.ir import Function, Instr, Module, Terminator
+
+__all__ = ["dump_function", "dump_module", "parse_module", "ParseError"]
+
+
+class ParseError(ValueError):
+    """The textual IR is malformed."""
+
+
+def _fmt_value(value):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _fmt_attrs(attrs):
+    public = {k: v for k, v in attrs.items() if not k.startswith("_")}
+    if not public:
+        return ""
+    parts = ",".join(
+        "{}={}".format(key, _fmt_value(public[key])) for key in sorted(public)
+    )
+    return "  !{" + parts + "}"
+
+
+def dump_function(function):
+    """Render one function as text."""
+    lines = ["func @{}({}) {{".format(function.name,
+                                      ", ".join(function.params))]
+    for label in function.block_order:
+        block = function.blocks[label]
+        lines.append("{}:".format(label))
+        for instr in block.instrs:
+            operands = ", ".join(_fmt_value(a) for a in instr.args)
+            dst = "{}, ".format(instr.dst) if instr.dst is not None else ""
+            body = "  {} {}{}".format(instr.op, dst, operands).rstrip()
+            # Normalize 'op dst, ' with no operands to 'op dst'.
+            if body.endswith(","):
+                body = body[:-1]
+            lines.append(body + _fmt_attrs(instr.attrs))
+        terminator = block.terminator
+        if terminator is not None:
+            operands = ", ".join(_fmt_value(a) for a in terminator.args)
+            lines.append(
+                "  {} {}".format(terminator.op, operands).rstrip()
+                + _fmt_attrs(terminator.attrs)
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dump_module(module):
+    """Render every function in the module."""
+    return "\n\n".join(
+        dump_function(module.functions[name])
+        for name in sorted(module.functions)
+    )
+
+
+def _parse_value(token):
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_attrs(text):
+    attrs = {}
+    for pair in text.strip()[1:-1].split(","):
+        if not pair:
+            continue
+        key, _eq, value = pair.partition("=")
+        attrs[key.strip()] = _parse_value(value)
+    return attrs
+
+
+def parse_module(text, name="parsed"):
+    """Parse text produced by :func:`dump_module` back into a Module."""
+    module = Module(name)
+    function = None
+    block = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("func @"):
+            header = line[len("func @"):]
+            func_name, _paren, rest = header.partition("(")
+            params_text = rest.split(")")[0]
+            params = [p.strip() for p in params_text.split(",") if p.strip()]
+            function = Function(func_name.strip(), params)
+            module.add(function)
+            block = None
+            continue
+        if line == "}":
+            function = None
+            continue
+        if function is None:
+            raise ParseError("statement outside a function: {!r}".format(line))
+        if line.endswith(":") and " " not in line:
+            block = function.add_block(line[:-1])
+            continue
+        if block is None:
+            raise ParseError("instruction outside a block: {!r}".format(line))
+
+        attrs = {}
+        if "!{" in line:
+            line, _bang, attr_text = line.partition("!{")
+            attrs = _parse_attrs("{" + attr_text)
+            line = line.strip()
+        op, _space, operand_text = line.partition(" ")
+        operands = [
+            _parse_value(tok) for tok in operand_text.split(",") if tok.strip()
+        ]
+        if op in ("jump", "br", "ret"):
+            block.terminate(Terminator(op, tuple(operands), attrs))
+            continue
+        dst = None
+        if op not in ("store", "probe") and operands:
+            dst = operands[0]
+            operands = operands[1:]
+        if op == "ext_call" and dst is None:
+            raise ParseError("ext_call needs a destination")
+        try:
+            block.append(Instr(op, dst, tuple(operands), attrs))
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+    return module

@@ -1,0 +1,37 @@
+"""A LevelDB-like in-memory key-value store (section 5.3's application).
+
+The paper serves Google LevelDB with memory-mapped plain tables, 15,000
+keys, and four request kinds: GET (~600 ns), PUT/DELETE (~2.3 µs), and
+full-database SCAN (~500 µs).  This package implements the store for real —
+skiplist memtable, immutable sorted tables, write batches, merged iterators,
+compaction — plus a calibrated cost model mapping operations onto simulated
+service times, and the safety-first preemption models of section 3.1 (the
+4-line lock counter vs Shinjuku's API-window preemption disabling).
+"""
+
+from repro.kvstore.skiplist import SkipList
+from repro.kvstore.memtable import MemTable, ValueKind
+from repro.kvstore.table import SortedTable
+from repro.kvstore.batch import WriteBatch
+from repro.kvstore.db import DB, DBOptions
+from repro.kvstore.costs import LevelDBCostModel, leveldb_workload
+from repro.kvstore.app import (
+    LevelDBApp,
+    concord_lock_counter_safety,
+    shinjuku_api_window_safety,
+)
+
+__all__ = [
+    "SkipList",
+    "MemTable",
+    "ValueKind",
+    "SortedTable",
+    "WriteBatch",
+    "DB",
+    "DBOptions",
+    "LevelDBCostModel",
+    "leveldb_workload",
+    "LevelDBApp",
+    "concord_lock_counter_safety",
+    "shinjuku_api_window_safety",
+]

@@ -1,0 +1,38 @@
+"""Write batches: LevelDB's atomic multi-update unit."""
+
+from repro.kvstore.memtable import ValueKind
+
+__all__ = ["WriteBatch"]
+
+
+class WriteBatch:
+    """An ordered list of puts/deletes applied atomically by DB.write()."""
+
+    def __init__(self):
+        self._ops = []
+
+    def put(self, key, value):
+        self._ops.append((ValueKind.VALUE, key, value))
+        return self
+
+    def delete(self, key):
+        self._ops.append((ValueKind.DELETION, key, None))
+        return self
+
+    def clear(self):
+        self._ops.clear()
+
+    def __len__(self):
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def apply_to(self, memtable, first_sequence):
+        """Apply all ops with consecutive sequence numbers; returns the
+        next free sequence."""
+        sequence = first_sequence
+        for kind, key, value in self._ops:
+            memtable.add(sequence, kind, key, value)
+            sequence += 1
+        return sequence

@@ -1,0 +1,71 @@
+"""Bloom filters for sorted-table lookups.
+
+LevelDB attaches a bloom filter to each table so GETs for absent keys skip
+the binary search.  We implement the same double-hashing construction
+LevelDB uses (Kirsch-Mitzenmacher: h1 + i*h2) with ~10 bits per key,
+giving a ~1% false-positive rate.
+"""
+
+import math
+
+__all__ = ["BloomFilter"]
+
+
+def _fnv1a(data, seed):
+    value = (0xCBF29CE484222325 ^ seed) & ((1 << 64) - 1)
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & ((1 << 64) - 1)
+    return value
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over byte-string keys."""
+
+    def __init__(self, expected_keys, bits_per_key=10):
+        if expected_keys < 0:
+            raise ValueError("expected_keys must be >= 0")
+        if bits_per_key < 1:
+            raise ValueError("bits_per_key must be >= 1")
+        self.bits = max(64, expected_keys * bits_per_key)
+        # Optimal hash count: ln(2) * bits/keys, clamped like LevelDB does.
+        self.num_hashes = max(1, min(30, int(round(bits_per_key * 0.69))))
+        self._words = bytearray((self.bits + 7) // 8)
+        self.added = 0
+
+    def _positions(self, key):
+        h1 = _fnv1a(key, 0x9747B28C)
+        h2 = _fnv1a(key, 0x5BD1E995) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def add(self, key):
+        for position in self._positions(key):
+            self._words[position >> 3] |= 1 << (position & 7)
+        self.added += 1
+
+    def may_contain(self, key):
+        """False means definitely absent; True means probably present."""
+        for position in self._positions(key):
+            if not self._words[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def __contains__(self, key):
+        return self.may_contain(key)
+
+    def false_positive_rate(self):
+        """Theoretical FP rate for the current fill level."""
+        if self.added == 0:
+            return 0.0
+        k = self.num_hashes
+        fill = 1.0 - math.exp(-k * self.added / self.bits)
+        return fill ** k
+
+    @classmethod
+    def from_keys(cls, keys, bits_per_key=10):
+        keys = list(keys)
+        bloom = cls(len(keys), bits_per_key)
+        for key in keys:
+            bloom.add(key)
+        return bloom

@@ -1,0 +1,84 @@
+"""Service-time cost model for the LevelDB server (section 5.3).
+
+The paper measures, with 15,000 keys in memory-mapped plain tables:
+GET ~600 ns, PUT/DELETE ~2.3 µs, full-database SCAN ~500 µs.  The model
+anchors those points and scales with database size (GET logarithmically via
+the skiplist/binary search, SCAN linearly), so examples that populate
+different key counts still get sensible timings.
+"""
+
+import math
+
+from repro.workloads.distributions import ClassMix, Fixed, RequestClass
+from repro.workloads.named import (
+    LEVELDB_DELETE_US,
+    LEVELDB_GET_US,
+    LEVELDB_PUT_US,
+    LEVELDB_SCAN_US,
+)
+
+__all__ = ["LevelDBCostModel", "leveldb_workload"]
+
+#: Database size at which the paper's numbers were measured.
+_REFERENCE_KEYS = 15_000
+
+
+class LevelDBCostModel:
+    """Maps store operations onto simulated service times (µs)."""
+
+    def __init__(self, num_keys=_REFERENCE_KEYS):
+        if num_keys < 1:
+            raise ValueError("need at least one key")
+        self.num_keys = num_keys
+        self._log_scale = math.log2(max(2, num_keys)) / math.log2(
+            _REFERENCE_KEYS
+        )
+        self._linear_scale = num_keys / _REFERENCE_KEYS
+
+    def get_us(self):
+        """Point lookup: log-factor of the reference 600 ns."""
+        return LEVELDB_GET_US * self._log_scale
+
+    def put_us(self):
+        """Insert: skiplist insert + bookkeeping, log-scaled 2.3 µs."""
+        return LEVELDB_PUT_US * self._log_scale
+
+    def delete_us(self):
+        return LEVELDB_DELETE_US * self._log_scale
+
+    def scan_us(self, fraction=1.0):
+        """Range scan covering ``fraction`` of the database; the paper's
+        SCANs cover all of it (500 µs)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return LEVELDB_SCAN_US * self._linear_scale * fraction
+
+    def service_us(self, kind, fraction=1.0):
+        """Service time for a request kind (GET/PUT/DELETE/SCAN)."""
+        dispatch = {
+            "GET": self.get_us,
+            "PUT": self.put_us,
+            "DELETE": self.delete_us,
+        }
+        if kind in dispatch:
+            return dispatch[kind]()
+        if kind == "SCAN":
+            return self.scan_us(fraction)
+        raise KeyError("unknown LevelDB request kind {!r}".format(kind))
+
+
+def leveldb_workload(mix, num_keys=_REFERENCE_KEYS, name=None):
+    """Build a :class:`~repro.workloads.distributions.ClassMix` from a
+    ``{kind: probability}`` mapping using the cost model.
+
+    >>> wl = leveldb_workload({"GET": 0.5, "SCAN": 0.5})
+    >>> sorted(wl.class_probabilities())
+    ['GET', 'SCAN']
+    """
+    model = LevelDBCostModel(num_keys)
+    classes = [
+        RequestClass(kind, prob, Fixed(model.service_us(kind), name=kind))
+        for kind, prob in sorted(mix.items())
+        if prob > 0
+    ]
+    return ClassMix(classes, name=name or "LevelDB(custom)")

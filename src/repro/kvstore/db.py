@@ -1,0 +1,165 @@
+"""The DB facade: LevelDB's public surface over memtable + sorted tables.
+
+Reads consult the memtable first, then tables newest-to-oldest.  Writes go
+through a mutex — the lock whose handling differentiates Concord's 4-line
+lock counter from Shinjuku's whole-API-call preemption disabling
+(section 3.1).  The lock counter is implemented here exactly as the paper
+describes: incremented on acquire, decremented on release, readable by the
+runtime to decide whether preemption is safe.
+"""
+
+import threading
+from dataclasses import dataclass
+
+from repro.kvstore.batch import WriteBatch
+from repro.kvstore.memtable import MemTable, ValueKind
+from repro.kvstore.table import SortedTable
+
+__all__ = ["DB", "DBOptions"]
+
+
+@dataclass(frozen=True)
+class DBOptions:
+    """Tuning knobs.
+
+    memtable_flush_entries:
+        Flush the memtable to an immutable sorted table once it holds this
+        many entries (the analogue of LevelDB's write_buffer_size).
+    max_tables_before_compaction:
+        Run a full compaction when the table stack grows past this.
+    """
+
+    memtable_flush_entries: int = 4096
+    max_tables_before_compaction: int = 4
+
+
+class DB:
+    """An in-memory LevelDB-alike."""
+
+    def __init__(self, options=None, seed=0xDB):
+        self.options = options or DBOptions()
+        self._seed = seed
+        self._memtable = MemTable(seed=seed)
+        self._tables = []  # newest first
+        self._sequence = 1
+        self._mutex = threading.Lock()
+        #: The paper's 4-line safety counter: >0 while application code
+        #: holds the write mutex, so the runtime can defer preemption.
+        self.lock_depth = 0
+        self.flushes = 0
+        self.compactions = 0
+
+    # -- write path -----------------------------------------------------------------
+
+    def _locked(self):
+        db = self
+
+        class _Guard:
+            def __enter__(self):
+                db._mutex.acquire()
+                db.lock_depth += 1
+                return db
+
+            def __exit__(self, exc_type, exc, tb):
+                db.lock_depth -= 1
+                db._mutex.release()
+                return False
+
+        return _Guard()
+
+    def put(self, key, value):
+        with self._locked():
+            self._memtable.add(self._sequence, ValueKind.VALUE, key, value)
+            self._sequence += 1
+            self._maybe_flush()
+
+    def delete(self, key):
+        with self._locked():
+            self._memtable.add(self._sequence, ValueKind.DELETION, key)
+            self._sequence += 1
+            self._maybe_flush()
+
+    def write(self, batch):
+        """Apply a :class:`WriteBatch` atomically."""
+        if not isinstance(batch, WriteBatch):
+            raise TypeError("write() expects a WriteBatch")
+        with self._locked():
+            self._sequence = batch.apply_to(self._memtable, self._sequence)
+            self._maybe_flush()
+
+    def _maybe_flush(self):
+        if (
+            self._memtable.approximate_entries()
+            >= self.options.memtable_flush_entries
+        ):
+            self._tables.insert(0, SortedTable.from_memtable(self._memtable))
+            self._memtable = MemTable(seed=self._seed)
+            self.flushes += 1
+            if len(self._tables) > self.options.max_tables_before_compaction:
+                self._tables = [SortedTable.merge(self._tables)]
+                self.compactions += 1
+
+    # -- read path --------------------------------------------------------------------
+
+    def get(self, key, default=None):
+        found, value = self._memtable.get(key)
+        if found:
+            return value if value is not None else default
+        for table in self._tables:
+            found, value = table.get(key)
+            if found:
+                return value if value is not None else default
+        return default
+
+    def __contains__(self, key):
+        return self.get(key, default=_MISSING) is not _MISSING
+
+    def scan(self, start_key=None, end_key=None, limit=None):
+        """Ordered range scan merging memtable and all tables.
+
+        Returns a list of (key, value) pairs with start <= key < end,
+        newest version winning, tombstones excluded.
+        """
+        winners = {}
+        sources = [
+            ((key, kind, value) for key, kind, value
+             in self._memtable.iter_latest())
+        ]
+        sources.extend(iter(t) for t in self._tables)
+        # Visit newest source first; first writer wins.
+        for source in sources:
+            for key, kind, value in source:
+                if start_key is not None and key < start_key:
+                    continue
+                if end_key is not None and key >= end_key:
+                    continue
+                if key not in winners:
+                    winners[key] = (kind, value)
+        result = [
+            (key, value)
+            for key, (kind, value) in sorted(winners.items())
+            if kind != ValueKind.DELETION
+        ]
+        if limit is not None:
+            result = result[:limit]
+        return result
+
+    def count(self):
+        """Number of live keys (scan-based; O(n))."""
+        return len(self.scan())
+
+    @property
+    def table_count(self):
+        return len(self._tables)
+
+    def stats(self):
+        return {
+            "memtable_entries": len(self._memtable),
+            "tables": len(self._tables),
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+            "sequence": self._sequence,
+        }
+
+
+_MISSING = object()

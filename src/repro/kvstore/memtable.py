@@ -1,0 +1,78 @@
+"""The memtable: a skiplist of versioned entries.
+
+Like LevelDB, every mutation gets a monotonically increasing sequence
+number and deletes are tombstones; the internal key orders by (user_key
+ascending, sequence descending) so the freshest visible version of a key is
+found first.
+"""
+
+from repro.kvstore.skiplist import SkipList
+
+__all__ = ["MemTable", "ValueKind"]
+
+_MAX_SEQUENCE = (1 << 56) - 1
+
+
+class ValueKind:
+    """Entry types, mirroring LevelDB's ValueType."""
+
+    VALUE = 1
+    DELETION = 0
+
+
+def _internal_key(user_key, sequence):
+    # Sequence is inverted so higher sequences sort first for equal keys.
+    return (user_key, _MAX_SEQUENCE - sequence)
+
+
+class MemTable:
+    """Mutable in-memory table of versioned entries."""
+
+    def __init__(self, seed=0xDB):
+        self._list = SkipList(seed=seed)
+        self.entries = 0
+
+    def add(self, sequence, kind, user_key, value=None):
+        """Record a PUT (kind=VALUE) or DELETE (kind=DELETION)."""
+        if kind not in (ValueKind.VALUE, ValueKind.DELETION):
+            raise ValueError("bad value kind {!r}".format(kind))
+        self._list.insert(_internal_key(user_key, sequence), (kind, value))
+        self.entries += 1
+
+    def get(self, user_key, sequence=_MAX_SEQUENCE):
+        """Look up the freshest version of ``user_key`` visible at
+        ``sequence``.
+
+        Returns (found, value): found=False means not present here (check
+        older tables); found=True with value=None means a tombstone.
+        """
+        start = _internal_key(user_key, sequence)
+        for (key, _inv_seq), (kind, value) in self._list.iterate_from(start):
+            if key != user_key:
+                break
+            if kind == ValueKind.DELETION:
+                return True, None
+            return True, value
+        return False, None
+
+    def __len__(self):
+        return self.entries
+
+    def iter_versions(self):
+        """All versions in internal-key order: yields
+        (user_key, sequence, kind, value)."""
+        for (key, inv_seq), (kind, value) in self._list:
+            yield key, _MAX_SEQUENCE - inv_seq, kind, value
+
+    def iter_latest(self):
+        """The freshest version of each key, in key order, including
+        tombstones: yields (user_key, kind, value)."""
+        last_key = object()
+        for key, _seq, kind, value in self.iter_versions():
+            if key == last_key:
+                continue
+            last_key = key
+            yield key, kind, value
+
+    def approximate_entries(self):
+        return self.entries

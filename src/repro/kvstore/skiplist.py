@@ -1,0 +1,113 @@
+"""A probabilistic skiplist — LevelDB's memtable structure.
+
+Keys are arbitrary comparable values (the store uses bytes).  Seeking and
+ordered iteration are O(log n) / O(1)-per-step, matching the asymptotics the
+cost model assumes.
+"""
+
+import random
+
+__all__ = ["SkipList"]
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key, value, height):
+        self.key = key
+        self.value = value
+        self.next = [None] * height
+
+
+class SkipList:
+    """An ordered map with skiplist internals.
+
+    A seeded RNG keeps tower heights — and therefore performance and
+    iteration behaviour — deterministic across runs.
+    """
+
+    def __init__(self, seed=0xDB):
+        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._height = 1
+        self._rng = random.Random(seed)
+        self._count = 0
+
+    def _random_height(self):
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(self, key, prev_out=None):
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and nxt.key < key:
+                node = nxt
+            else:
+                if prev_out is not None:
+                    prev_out[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    # -- map interface -------------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert or overwrite ``key``."""
+        prev = [self._head] * _MAX_HEIGHT
+        node = self._find_greater_or_equal(key, prev)
+        if node is not None and node.key == key:
+            node.value = value
+            return
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        node = _Node(key, value, height)
+        for level in range(height):
+            node.next[level] = prev[level].next[level]
+            prev[level].next[level] = node
+        self._count += 1
+
+    def get(self, key, default=None):
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key):
+        node = self._find_greater_or_equal(key)
+        return node is not None and node.key == key
+
+    def __len__(self):
+        return self._count
+
+    # -- ordered traversal --------------------------------------------------------------
+
+    def __iter__(self):
+        """Yield (key, value) in key order."""
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def iterate_from(self, key):
+        """Yield (key, value) pairs with key >= ``key``, in order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def first_key(self):
+        node = self._head.next[0]
+        return node.key if node is not None else None
+
+    def approximate_memory_entries(self):
+        """Entry count, the measure the flush threshold uses."""
+        return self._count

@@ -1,0 +1,84 @@
+"""Immutable sorted tables — the in-memory analogue of LevelDB's
+memory-mapped plain tables (section 5.3's setup keeps all data resident).
+"""
+
+import bisect
+
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.memtable import ValueKind
+
+__all__ = ["SortedTable"]
+
+
+class SortedTable:
+    """An immutable, sorted array of (key, kind, value) entries.
+
+    One entry per key (tables are built from the freshest version of each
+    key at flush/compaction time); tombstones are retained so they can mask
+    older tables until a full compaction drops them.  Like LevelDB, each
+    table carries a bloom filter so lookups for absent keys skip the
+    binary search.
+    """
+
+    def __init__(self, entries, bloom_bits_per_key=10):
+        keys = [e[0] for e in entries]
+        if keys != sorted(keys):
+            raise ValueError("table entries must be sorted by key")
+        if len(set(keys)) != len(keys):
+            raise ValueError("table entries must have unique keys")
+        self._keys = keys
+        self._entries = list(entries)
+        self._bloom = BloomFilter.from_keys(keys, bloom_bits_per_key)
+        self.bloom_negatives = 0
+
+    @classmethod
+    def from_memtable(cls, memtable):
+        """Flush a memtable: freshest version of each key, tombstones kept."""
+        return cls(list(memtable.iter_latest()))
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, user_key):
+        """Returns (found, value); found=True, value=None is a tombstone."""
+        if not self._bloom.may_contain(user_key):
+            self.bloom_negatives += 1
+            return False, None
+        index = bisect.bisect_left(self._keys, user_key)
+        if index < len(self._keys) and self._keys[index] == user_key:
+            _key, kind, value = self._entries[index]
+            if kind == ValueKind.DELETION:
+                return True, None
+            return True, value
+        return False, None
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        """Yield (key, kind, value) in key order, tombstones included."""
+        return iter(self._entries)
+
+    def iterate_from(self, user_key):
+        index = bisect.bisect_left(self._keys, user_key)
+        for entry in self._entries[index:]:
+            yield entry
+
+    def key_range(self):
+        if not self._entries:
+            return None, None
+        return self._keys[0], self._keys[-1]
+
+    @staticmethod
+    def merge(tables):
+        """Compact ``tables`` (newest first) into one, dropping tombstones
+        and shadowed versions — LevelDB's full compaction."""
+        merged = {}
+        for table in reversed(tables):  # oldest first; newer overwrite
+            for key, kind, value in table:
+                merged[key] = (kind, value)
+        entries = [
+            (key, kind, value)
+            for key, (kind, value) in sorted(merged.items())
+            if kind != ValueKind.DELETION
+        ]
+        return SortedTable(entries)

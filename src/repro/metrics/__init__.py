@@ -1,0 +1,19 @@
+"""Measurement utilities: percentiles, slowdown summaries, load sweeps."""
+
+from repro.metrics.percentile import percentile, Histogram
+from repro.metrics.slowdown import SlowdownSummary, summarize_slowdowns
+from repro.metrics.sweep import LoadSweep, SweepPoint, knee_load
+from repro.metrics.report import format_table
+from repro.metrics.plot import ascii_plot
+
+__all__ = [
+    "percentile",
+    "Histogram",
+    "SlowdownSummary",
+    "summarize_slowdowns",
+    "LoadSweep",
+    "SweepPoint",
+    "knee_load",
+    "format_table",
+    "ascii_plot",
+]

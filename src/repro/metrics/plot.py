@@ -1,0 +1,69 @@
+"""Dependency-free ASCII line plots for experiment output.
+
+The CLI's ``--plot`` flag renders each "slowdown vs load" table as a
+terminal chart so the figure's *shape* — knees, crossings, explosions — is
+visible without leaving the shell.
+"""
+
+import math
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(series, width=64, height=16, title=None, x_label="x",
+               y_label="y", log_y=False):
+    """Render ``series`` — a mapping name -> [(x, y), ...] — as ASCII art.
+
+    Points are scattered onto a character grid; each series gets a marker
+    and a legend line.  ``log_y`` plots log10(y), useful for tail-latency
+    explosions.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+
+    def transform(y):
+        if not log_y:
+            return y
+        return math.log10(max(y, 1e-9))
+
+    xs = [p[0] for p in points]
+    ys = [transform(p[1]) for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = int((transform(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = "10^{:.1f}".format(y_high) if log_y else "{:.3g}".format(y_high)
+    y_bottom = "10^{:.1f}".format(y_low) if log_y else "{:.3g}".format(y_low)
+    label_width = max(len(y_top), len(y_bottom), len(y_label))
+    lines.append("{} |".format(y_top.rjust(label_width)))
+    for i, row in enumerate(grid):
+        prefix = y_label.rjust(label_width) if i == height // 2 else " " * label_width
+        lines.append("{} |{}".format(prefix, "".join(row)))
+    lines.append("{} +{}".format(y_bottom.rjust(label_width), "-" * width))
+    x_axis = "{}{:<{}} {:>{}}".format(
+        " " * (label_width + 2), "{:.3g}".format(x_low),
+        width // 2 - 1, "{:.3g} {}".format(x_high, x_label), width // 2,
+    )
+    lines.append(x_axis)
+    for index, name in enumerate(series):
+        lines.append("  {} {}".format(_MARKERS[index % len(_MARKERS)], name))
+    return "\n".join(lines)

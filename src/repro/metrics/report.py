@@ -1,0 +1,40 @@
+"""Plain-text tables for experiment output.
+
+Experiments print the same rows/series the paper's figures plot; a fixed,
+dependency-free formatter keeps that output stable and diffable.
+"""
+
+__all__ = ["format_table"]
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return "{:.0f}".format(value)
+        return "{:.3g}".format(value)
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (sequences of cells) under ``headers`` as aligned,
+    pipe-separated text."""
+    table = [[_cell(h) for h in headers]]
+    table.extend([_cell(c) for c in row] for row in rows)
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cell.ljust(width) for cell, width in zip(table[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in table[1:]:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

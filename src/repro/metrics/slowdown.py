@@ -1,0 +1,57 @@
+"""Slowdown summaries.
+
+Slowdown — sojourn time divided by un-instrumented service time — is the
+paper's primary metric (section 5.1): it lets workloads with wildly
+different absolute latencies share one SLO (p99.9 slowdown <= 50x).
+"""
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.metrics.percentile import percentile
+
+__all__ = ["SlowdownSummary", "summarize_slowdowns"]
+
+
+@dataclass(frozen=True)
+class SlowdownSummary:
+    """Summary statistics over one run's slowdown samples."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    max: float
+
+    def meets_slo(self, slo=constants.SLOWDOWN_SLO):
+        """True when the tail percentile is within the slowdown SLO."""
+        return self.p999 <= slo
+
+    def as_dict(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
+
+
+def summarize_slowdowns(slowdowns):
+    """Build a :class:`SlowdownSummary` from raw slowdown samples."""
+    if not slowdowns:
+        raise ValueError("no slowdown samples to summarize")
+    data = sorted(slowdowns)
+    return SlowdownSummary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=percentile(data, 50, presorted=True),
+        p90=percentile(data, 90, presorted=True),
+        p99=percentile(data, 99, presorted=True),
+        p999=percentile(data, constants.TAIL_PERCENTILE, presorted=True),
+        max=float(data[-1]),
+    )

@@ -1,0 +1,129 @@
+"""Load sweeps: the x-axis of every "slowdown vs load" figure.
+
+A :class:`LoadSweep` runs one runtime configuration across a grid of offered
+loads (fresh server per point, common random numbers across configurations)
+and records the tail slowdown at each point.  :func:`knee_load` extracts the
+paper's headline number — the maximum load sustained within the SLO — by
+interpolating where the tail curve crosses the SLO.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import constants
+from repro.core.server import Server
+from repro.metrics.slowdown import summarize_slowdowns
+from repro.workloads.arrivals import PoissonProcess
+
+__all__ = ["SweepPoint", "LoadSweep", "knee_load"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (offered load, tail behaviour) sample."""
+
+    load_rps: float
+    p50: float
+    p99: float
+    p999: float
+    mean: float
+    throughput_rps: float
+    dispatcher_utilization: float
+    worker_idle_fraction: float
+    steals: int
+    completed: int
+
+
+class LoadSweep:
+    """Sweep offered load for one configuration.
+
+    Parameters
+    ----------
+    machine, config, workload:
+        What to simulate.
+    num_requests:
+        Arrivals per load point.
+    seed:
+        Master seed; every load point derives its own streams, and two
+        sweeps with the same seed see identical arrival randomness (common
+        random numbers).
+    warmup_frac:
+        Fraction of early samples discarded, as in section 5.1.
+    profile:
+        Optional instrumentation profile forwarded to probe-based
+        preemption mechanisms.
+    """
+
+    def __init__(self, machine, config, workload, num_requests=20000, seed=1,
+                 warmup_frac=0.1, profile=None, arrival_factory=None):
+        self.machine = machine
+        self.config = config
+        self.workload = workload
+        self.num_requests = num_requests
+        self.seed = seed
+        self.warmup_frac = warmup_frac
+        self.profile = profile
+        #: Callable rate_rps -> ArrivalProcess; default open-loop Poisson
+        #: (section 5.1).  Pass a MarkovModulatedPoisson factory to study
+        #: burstier-than-Poisson traffic.
+        self.arrival_factory = arrival_factory or PoissonProcess
+        self.points = []
+
+    def run_point(self, load_rps):
+        """Simulate one offered load and append/return its SweepPoint."""
+        server = Server(self.machine, self.config, seed=self.seed,
+                        profile=self.profile)
+        result = server.run(
+            self.workload, self.arrival_factory(load_rps), self.num_requests
+        )
+        summary = summarize_slowdowns(result.slowdowns(self.warmup_frac))
+        point = SweepPoint(
+            load_rps=load_rps,
+            p50=summary.p50,
+            p99=summary.p99,
+            p999=summary.p999,
+            mean=summary.mean,
+            throughput_rps=result.throughput_rps(),
+            dispatcher_utilization=result.dispatcher_utilization(),
+            worker_idle_fraction=result.worker_idle_fraction(),
+            steals=result.dispatcher_stats["steals_started"],
+            completed=len(result.records),
+        )
+        self.points.append(point)
+        return point
+
+    def run(self, loads_rps):
+        """Simulate every load in ``loads_rps`` (ascending recommended)."""
+        for load in loads_rps:
+            self.run_point(load)
+        return self.points
+
+    def knee(self, slo=constants.SLOWDOWN_SLO):
+        """Maximum sustained load within the SLO; see :func:`knee_load`."""
+        return knee_load(self.points, slo)
+
+
+def knee_load(points, slo=constants.SLOWDOWN_SLO):
+    """The highest offered load whose p99.9 slowdown is within ``slo``,
+    linearly interpolated between the last point under the SLO and the
+    first point over it.  Returns 0.0 if even the lightest load violates
+    the SLO, and the highest measured load if none does.
+    """
+    ordered = sorted(points, key=lambda p: p.load_rps)
+    if not ordered:
+        raise ValueError("no sweep points")
+    best: Optional[float] = None
+    for i, point in enumerate(ordered):
+        if point.p999 <= slo:
+            best = point.load_rps
+            continue
+        if best is None:
+            return 0.0
+        prev = ordered[i - 1]
+        # Interpolate the SLO crossing between prev (under) and point (over).
+        span = point.p999 - prev.p999
+        if span <= 0:
+            return point.load_rps
+        frac = (slo - prev.p999) / span
+        return prev.load_rps + frac * (point.load_rps - prev.load_rps)
+    return best if best is not None else 0.0

@@ -1,0 +1,64 @@
+"""Windowed time series over a run's completed requests.
+
+Aggregates per-request samples into fixed-width time windows so bursts,
+warmup transients, and queue build-up are visible — the "slowdown over
+time" view the load-vs-slowdown figures integrate away.
+"""
+
+from repro.metrics.percentile import percentile
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Bucket completed requests into fixed windows of simulated time."""
+
+    def __init__(self, window_us, clock):
+        if window_us <= 0:
+            raise ValueError("window must be positive")
+        self.window_us = float(window_us)
+        self.clock = clock
+        self._window_cycles = clock.us_to_cycles(window_us)
+        self._buckets = {}
+
+    @classmethod
+    def from_result(cls, result, window_us=1000.0):
+        """Build from a SimResult-shaped object."""
+        series = cls(window_us, result.clock)
+        for record in result.records:
+            series.add(record)
+        return series
+
+    def add(self, record):
+        index = record.completion_cycle // self._window_cycles
+        self._buckets.setdefault(index, []).append(record)
+
+    def windows(self):
+        """Yield (window_start_us, records) in time order."""
+        for index in sorted(self._buckets):
+            yield index * self.window_us, self._buckets[index]
+
+    def throughput_series(self):
+        """[(window_start_us, completions_per_second)]."""
+        return [
+            (start, len(records) * 1e6 / self.window_us)
+            for start, records in self.windows()
+        ]
+
+    def tail_slowdown_series(self, p=99.0):
+        """[(window_start_us, p-th percentile slowdown in the window)]."""
+        return [
+            (start, percentile([r.slowdown() for r in records], p))
+            for start, records in self.windows()
+        ]
+
+    def peak_to_mean_throughput(self):
+        """Burstiness indicator over the observed windows."""
+        series = [tp for _start, tp in self.throughput_series()]
+        if not series:
+            return 0.0
+        mean = sum(series) / len(series)
+        return max(series) / mean if mean else 0.0
+
+    def __len__(self):
+        return len(self._buckets)

@@ -1,0 +1,22 @@
+"""Analytical models: the throughput-overhead model of section 2 and
+textbook queueing references used to sanity-check the simulator."""
+
+from repro.models.overhead import (
+    OverheadBreakdown,
+    mechanism_overhead_curve,
+    preemption_notification_overhead,
+    system_overhead,
+    worker_overhead,
+)
+from repro.models.queueing import mm1_mean_sojourn, mmk_mean_wait, mg1_mean_wait
+
+__all__ = [
+    "OverheadBreakdown",
+    "mechanism_overhead_curve",
+    "preemption_notification_overhead",
+    "system_overhead",
+    "worker_overhead",
+    "mm1_mean_sojourn",
+    "mmk_mean_wait",
+    "mg1_mean_wait",
+]

@@ -1,0 +1,115 @@
+"""The analytical throughput-overhead model of section 2 (Eqs. 1-4).
+
+    Overhead_sys = (n * Overhead_w + Overhead_d) / (n + 1)            (1)
+    Overhead_w   = (cproc + cpre + cfin) / S                          (2)
+    cpre         = floor(S / q) * (cnotif + cswitch + cnext)          (3)
+    cfin         = cswitch + cnext                                    (4)
+
+The same model regenerates Fig. 2's mechanism comparison (cnotif/cproc only,
+excluding switch and next-request costs, matching the paper's no-op-handler
+methodology) and cross-checks the discrete-event simulator in tests.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+
+__all__ = [
+    "OverheadBreakdown",
+    "worker_overhead",
+    "system_overhead",
+    "preemption_notification_overhead",
+    "mechanism_overhead_curve",
+]
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Per-request wasted-cycle components for one worker (Eq. 2)."""
+
+    service_cycles: int
+    cproc: float
+    cpre: float
+    cfin: float
+
+    @property
+    def worker_overhead(self):
+        return (self.cproc + self.cpre + self.cfin) / self.service_cycles
+
+    @property
+    def wasted_cycles(self):
+        return self.cproc + self.cpre + self.cfin
+
+
+def worker_overhead(service_cycles, quantum_cycles, cnotif, cswitch, cnext,
+                    proc_fraction=0.0):
+    """Eq. 2/3/4: the fraction of a worker's cycles that do not contribute
+    to goodput for requests of ``service_cycles``.
+
+    ``proc_fraction`` is cproc as a fraction of service time (runtime
+    bookkeeping + instrumentation); ``quantum_cycles=None`` disables
+    preemption.
+    """
+    if service_cycles <= 0:
+        raise ValueError("service must be positive, got {}".format(service_cycles))
+    cproc = proc_fraction * service_cycles
+    if quantum_cycles is None or quantum_cycles <= 0:
+        preemptions = 0
+    else:
+        preemptions = math.floor(service_cycles / quantum_cycles)
+        # A request that is an exact multiple of the quantum completes at
+        # its final boundary rather than being preempted there.
+        if preemptions and service_cycles % quantum_cycles == 0:
+            preemptions -= 1
+    cpre = preemptions * (cnotif + cswitch + cnext)
+    cfin = cswitch + cnext
+    return OverheadBreakdown(
+        service_cycles=service_cycles, cproc=cproc, cpre=cpre, cfin=cfin
+    )
+
+
+def system_overhead(num_workers, worker_overhead_fraction,
+                    dispatcher_overhead=1.0):
+    """Eq. 1: blend per-worker overhead with the dispatcher's.
+
+    A dedicated dispatcher contributes Overhead_d = 1 (it never runs
+    application logic, section 2.2.3); Concord's work-conserving dispatcher
+    lowers that below 1.
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    return (
+        num_workers * worker_overhead_fraction + dispatcher_overhead
+    ) / (num_workers + 1)
+
+
+def preemption_notification_overhead(mechanism, quantum_us, clock,
+                                     service_us=500.0):
+    """Fig. 2 methodology: overhead of *only* the preemption mechanism —
+    notification disruption plus instrumentation tax — for back-to-back
+    ``service_us`` requests with no-op handlers (no context switch, no
+    next-request wait).
+    """
+    service_cycles = clock.us_to_cycles(service_us)
+    quantum_cycles = clock.us_to_cycles(quantum_us)
+    breakdown = worker_overhead(
+        service_cycles,
+        quantum_cycles,
+        cnotif=mechanism.worker_disruption_cycles,
+        cswitch=0,
+        cnext=0,
+        proc_fraction=mechanism.proc_overhead
+        + constants.RUNTIME_PROC_OVERHEAD_FRACTION * 0,
+    )
+    return breakdown.worker_overhead
+
+
+def mechanism_overhead_curve(mechanism, quanta_us, clock, service_us=500.0):
+    """Overhead percentage at each quantum — one line of Fig. 2 / Fig. 15."""
+    return [
+        100.0 * preemption_notification_overhead(
+            mechanism, quantum, clock, service_us
+        )
+        for quantum in quanta_us
+    ]

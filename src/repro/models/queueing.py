@@ -1,0 +1,51 @@
+"""Textbook queueing results used to validate the simulator.
+
+With all mechanism costs zeroed (``RuntimeConfig(ideal=True)``) the
+simulated server degenerates to an M/G/k queue with a central FIFO; these
+closed forms give the expected behaviour the DES must match in tests.
+"""
+
+__all__ = ["mm1_mean_sojourn", "mmk_erlang_c", "mmk_mean_wait", "mg1_mean_wait"]
+
+
+def mm1_mean_sojourn(arrival_rate, service_rate):
+    """Mean sojourn time in an M/M/1 queue: 1 / (mu - lambda)."""
+    if service_rate <= arrival_rate:
+        raise ValueError(
+            "unstable queue: lambda={} >= mu={}".format(arrival_rate, service_rate)
+        )
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mmk_erlang_c(arrival_rate, service_rate, servers):
+    """Erlang-C: probability an arrival waits in an M/M/k queue."""
+    if servers < 1:
+        raise ValueError("need at least one server")
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    if rho >= 1.0:
+        raise ValueError("unstable queue: rho={:.3f}".format(rho))
+    # Sum_{i<k} a^i/i!  and the waiting term a^k/(k! (1-rho)).
+    total = 0.0
+    term = 1.0
+    for i in range(servers):
+        if i > 0:
+            term *= offered / i
+        total += term
+    wait_term = term * offered / servers / (1.0 - rho)
+    return wait_term / (total + wait_term)
+
+
+def mmk_mean_wait(arrival_rate, service_rate, servers):
+    """Mean queueing delay (excluding service) in an M/M/k queue."""
+    pw = mmk_erlang_c(arrival_rate, service_rate, servers)
+    return pw / (servers * service_rate - arrival_rate)
+
+
+def mg1_mean_wait(arrival_rate, mean_service, scv):
+    """Pollaczek-Khinchine mean wait for M/G/1 with squared coefficient of
+    variation ``scv`` of the service distribution."""
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        raise ValueError("unstable queue: rho={:.3f}".format(rho))
+    return rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho))

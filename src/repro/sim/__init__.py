@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: an event heap keyed by integer timestamps
+(CPU cycles), a :class:`Simulator` that drains it, and seeded random-number
+streams.  Higher layers (:mod:`repro.core`) build scheduler agents on top.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RngStreams
+from repro.sim.process import Agent
+
+__all__ = ["Event", "Simulator", "SimulationError", "RngStreams", "Agent"]

@@ -1,0 +1,173 @@
+"""Core event loop for the discrete-event simulator.
+
+Time is an integer number of CPU cycles.  Events are callbacks scheduled at
+absolute timestamps; ties are broken by a monotonically increasing sequence
+number so execution order is deterministic and FIFO among same-time events.
+
+The heap stores ``(time, seq, event)`` tuples so ordering comparisons run as
+C-level tuple compares — this loop is the hottest code in the package.
+"""
+
+import heapq
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` (or the ``at`` /
+    ``after`` convenience wrappers) and may be cancelled before firing.
+    Cancellation is lazy: the heap entry stays put and is discarded when
+    popped.
+    """
+
+    __slots__ = ("time", "callback", "name", "cancelled")
+
+    def __init__(self, time, callback, name):
+        self.time = time
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        return "Event(t={}, name={!r}{})".format(self.time, self.name, state)
+
+
+class Simulator:
+    """Drains an event heap in timestamp order.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable invoked as ``trace(time, name)`` before each event
+        fires; useful for debugging schedules.
+    """
+
+    def __init__(self, trace=None):
+        self.now = 0
+        self._heap = []
+        self._seq = 0
+        self._trace = trace
+        self._events_run = 0
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, time, callback, name=""):
+        """Schedule ``callback`` at absolute cycle ``time``.
+
+        Returns the :class:`Event`, which may be cancelled.
+        """
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule event {!r} at t={} before now={}".format(
+                    name, time, self.now
+                )
+            )
+        event = Event(time, callback, name)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
+    def at(self, time, callback, name=""):
+        """Alias for :meth:`schedule` (absolute time)."""
+        return self.schedule(time, callback, name)
+
+    def after(self, delay, callback, name=""):
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(
+                "negative delay {} for event {!r}".format(delay, name)
+            )
+        return self.schedule(self.now + int(delay), callback, name)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self):
+        """Run the next pending event.  Returns False when the heap is empty."""
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            if self._trace is not None:
+                self._trace(time, event.name)
+            self._events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run until the heap drains, ``until`` cycles pass, or ``max_events``
+        events have executed — whichever comes first.
+
+        Returns the number of events executed during this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        trace = self._trace
+        executed = 0
+        try:
+            if until is None and max_events is None and trace is None:
+                # Hot path: drain everything with minimal bookkeeping.
+                while heap:
+                    time, _seq, event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    event.callback()
+                    executed += 1
+                self._events_run += executed
+                return executed
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = heap[0]
+                if head[2].cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and head[0] > until:
+                    self.now = int(until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = int(until)
+        finally:
+            self._running = False
+        return executed
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def pending(self):
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
+
+    @property
+    def events_run(self):
+        """Total events executed over the simulator's lifetime."""
+        return self._events_run
+
+    def peek_time(self):
+        """Timestamp of the next live event, or None if the heap is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,58 @@
+"""Agent base class for event-driven simulation actors.
+
+Agents model hardware threads pinned to cores (dispatcher, workers, the
+networker).  Each agent owns a *busy-until* timestamp: the simulated thread
+executes serial micro-operations, and scheduling work on a busy agent queues
+it behind the current operation.  This is how dispatcher saturation and the
+"dispatcher busy while worker waits" effect of section 2.2.2 emerge.
+"""
+
+__all__ = ["Agent"]
+
+
+class Agent:
+    """A serial execution resource bound to a simulator.
+
+    Subclasses call :meth:`busy_for` to account for cycles consumed by the
+    simulated thread and :meth:`when_free` to learn when the next operation
+    could start.
+    """
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.busy_until = 0
+        self.busy_cycles = 0
+
+    def when_free(self):
+        """Earliest cycle at which this agent can start new work."""
+        return max(self.sim.now, self.busy_until)
+
+    @property
+    def is_busy(self):
+        return self.busy_until > self.sim.now
+
+    def busy_for(self, cycles, start=None):
+        """Consume ``cycles`` of this agent's time, starting no earlier than
+        ``start`` (default: when the agent is next free).
+
+        Returns the completion timestamp.
+        """
+        if cycles < 0:
+            raise ValueError("negative busy time: {}".format(cycles))
+        begin = self.when_free() if start is None else max(start, self.when_free())
+        end = begin + int(cycles)
+        self.busy_until = end
+        self.busy_cycles += int(cycles)
+        return end
+
+    def utilization(self, elapsed):
+        """Fraction of ``elapsed`` cycles this agent spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)
+
+    def __repr__(self):
+        return "{}(name={!r}, busy_until={})".format(
+            type(self).__name__, self.name, self.busy_until
+        )

@@ -1,0 +1,234 @@
+"""Service-time distributions.
+
+A :class:`Distribution` samples a service time in microseconds.  A
+:class:`ClassMix` composes named request classes — the form every workload
+in the paper takes (bimodal mixes, the TPCC transaction mix, LevelDB's
+GET/SCAN mixes).  Samples come back as ``(kind, service_us)`` pairs so the
+scheduler and the key-value store can dispatch on the request class.
+"""
+
+import math
+
+__all__ = [
+    "Distribution",
+    "Fixed",
+    "Exponential",
+    "Uniform",
+    "Lognormal",
+    "RequestClass",
+    "ClassMix",
+]
+
+
+class Distribution:
+    """Base class: a positive service-time distribution in microseconds."""
+
+    #: Human-readable name; subclasses override.
+    name = "distribution"
+
+    def sample_us(self, rng):
+        """Draw one service time (µs) using ``rng`` (a random.Random)."""
+        raise NotImplementedError
+
+    def mean_us(self):
+        """Expected service time (µs)."""
+        raise NotImplementedError
+
+    def sample_class(self, rng):
+        """Draw one ``(kind, service_us)`` pair.  Plain distributions use
+        their own name as the kind."""
+        return self.name, self.sample_us(rng)
+
+    def squared_coefficient_of_variation(self, samples=20000, rng=None):
+        """Empirical SCV (variance / mean^2), the dispersion measure queueing
+        theory cares about.  Subclasses with closed forms override."""
+        import random as _random
+
+        rng = rng or _random.Random(0xD15C0)
+        draws = [self.sample_us(rng) for _ in range(samples)]
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        return var / (mean * mean) if mean else 0.0
+
+
+class Fixed(Distribution):
+    """Deterministic service time."""
+
+    def __init__(self, service_us, name=None):
+        if service_us <= 0:
+            raise ValueError("service time must be positive, got {}".format(service_us))
+        self.service_us = float(service_us)
+        self.name = name or "fixed({:g}us)".format(service_us)
+
+    def sample_us(self, rng):
+        return self.service_us
+
+    def mean_us(self):
+        return self.service_us
+
+    def squared_coefficient_of_variation(self, samples=0, rng=None):
+        return 0.0
+
+
+class Exponential(Distribution):
+    """Exponentially distributed service time (memoryless)."""
+
+    def __init__(self, mean_us, name=None):
+        if mean_us <= 0:
+            raise ValueError("mean must be positive, got {}".format(mean_us))
+        self._mean_us = float(mean_us)
+        self.name = name or "exp({:g}us)".format(mean_us)
+
+    def sample_us(self, rng):
+        return rng.expovariate(1.0 / self._mean_us)
+
+    def mean_us(self):
+        return self._mean_us
+
+    def squared_coefficient_of_variation(self, samples=0, rng=None):
+        return 1.0
+
+
+class Uniform(Distribution):
+    """Uniform service time on [low_us, high_us]."""
+
+    def __init__(self, low_us, high_us, name=None):
+        if not 0 < low_us <= high_us:
+            raise ValueError(
+                "need 0 < low <= high, got [{}, {}]".format(low_us, high_us)
+            )
+        self.low_us = float(low_us)
+        self.high_us = float(high_us)
+        self.name = name or "uniform({:g},{:g})".format(low_us, high_us)
+
+    def sample_us(self, rng):
+        return rng.uniform(self.low_us, self.high_us)
+
+    def mean_us(self):
+        return (self.low_us + self.high_us) / 2.0
+
+    def squared_coefficient_of_variation(self, samples=0, rng=None):
+        mean = self.mean_us()
+        var = (self.high_us - self.low_us) ** 2 / 12.0
+        return var / (mean * mean)
+
+
+class Lognormal(Distribution):
+    """Lognormal service time, parameterized by its mean and sigma of the
+    underlying normal — a common stand-in for production heavy tails."""
+
+    def __init__(self, mean_us, sigma, name=None):
+        if mean_us <= 0 or sigma < 0:
+            raise ValueError(
+                "need mean > 0 and sigma >= 0, got mean={}, sigma={}".format(
+                    mean_us, sigma
+                )
+            )
+        self._mean_us = float(mean_us)
+        self.sigma = float(sigma)
+        # Choose mu so the distribution's mean is mean_us.
+        self.mu = math.log(mean_us) - sigma * sigma / 2.0
+        self.name = name or "lognormal({:g}us,s={:g})".format(mean_us, sigma)
+
+    def sample_us(self, rng):
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean_us(self):
+        return self._mean_us
+
+    def squared_coefficient_of_variation(self, samples=0, rng=None):
+        return math.exp(self.sigma * self.sigma) - 1.0
+
+
+class RequestClass:
+    """One component of a :class:`ClassMix`: a named request type with a
+    selection probability and its own service-time distribution."""
+
+    __slots__ = ("kind", "probability", "distribution")
+
+    def __init__(self, kind, probability, distribution):
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                "class probability must be in (0, 1], got {}".format(probability)
+            )
+        self.kind = kind
+        self.probability = float(probability)
+        self.distribution = distribution
+
+    def __repr__(self):
+        return "RequestClass({!r}, p={:g}, {})".format(
+            self.kind, self.probability, self.distribution.name
+        )
+
+
+class ClassMix(Distribution):
+    """A probabilistic mixture of named request classes.
+
+    This is the shape of every workload in the paper's evaluation: e.g.
+    Bimodal(50:1, 50:100) is a mix of two Fixed distributions with equal
+    probability.
+    """
+
+    def __init__(self, classes, name=None):
+        if not classes:
+            raise ValueError("ClassMix needs at least one class")
+        total = sum(c.probability for c in classes)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                "class probabilities must sum to 1, got {:g}".format(total)
+            )
+        self.classes = list(classes)
+        self.name = name or "mix({})".format(
+            ",".join(c.kind for c in self.classes)
+        )
+        # Precompute the CDF for sampling.
+        self._cdf = []
+        acc = 0.0
+        for cls in self.classes:
+            acc += cls.probability
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def _pick(self, rng):
+        u = rng.random()
+        for cls, edge in zip(self.classes, self._cdf):
+            if u <= edge:
+                return cls
+        return self.classes[-1]
+
+    def sample_us(self, rng):
+        return self._pick(rng).distribution.sample_us(rng)
+
+    def sample_class(self, rng):
+        cls = self._pick(rng)
+        return cls.kind, cls.distribution.sample_us(rng)
+
+    def mean_us(self):
+        return sum(c.probability * c.distribution.mean_us() for c in self.classes)
+
+    def class_probabilities(self):
+        """Mapping of kind -> selection probability."""
+        return {c.kind: c.probability for c in self.classes}
+
+    def dispersion_ratio(self):
+        """Max class mean over min class mean — the paper's informal
+        "dispersion" (e.g. 1000x for LevelDB GET vs SCAN)."""
+        means = [c.distribution.mean_us() for c in self.classes]
+        return max(means) / min(means)
+
+
+def bimodal(short_pct, short_us, long_pct, long_us, name=None):
+    """Convenience constructor mirroring the paper's Bimodal(a:b, c:d)
+    notation: ``a``% of requests take ``b`` µs, ``c``% take ``d`` µs."""
+    if abs(short_pct + long_pct - 100.0) > 1e-9:
+        raise ValueError(
+            "percentages must sum to 100, got {} + {}".format(short_pct, long_pct)
+        )
+    classes = [
+        RequestClass("short", short_pct / 100.0, Fixed(short_us)),
+        RequestClass("long", long_pct / 100.0, Fixed(long_us)),
+    ]
+    default = "Bimodal({:g}:{:g}, {:g}:{:g})".format(
+        short_pct, short_us, long_pct, long_us
+    )
+    return ClassMix(classes, name=name or default)

@@ -1,0 +1,107 @@
+"""The named workloads of the paper's evaluation (sections 5.1-5.3).
+
+Each function returns a :class:`~repro.workloads.distributions.ClassMix`
+whose kinds are meaningful to the server (e.g. LevelDB request kinds).
+"""
+
+from repro.workloads.distributions import ClassMix, Fixed, RequestClass, bimodal
+
+__all__ = [
+    "bimodal_50_1_50_100",
+    "bimodal_995_05_500",
+    "fixed_1us",
+    "tpcc",
+    "leveldb_50get_50scan",
+    "leveldb_zippydb",
+    "NAMED_WORKLOADS",
+    "workload_by_name",
+]
+
+#: LevelDB per-operation service times measured in the paper's setup
+#: (section 5.3): GETs ~600 ns, PUT/DELETE ~2.3 µs, full-database SCANs
+#: ~500 µs with 15,000 keys in memory-mapped plain tables.
+LEVELDB_GET_US = 0.6
+LEVELDB_PUT_US = 2.3
+LEVELDB_DELETE_US = 2.3
+LEVELDB_SCAN_US = 500.0
+
+
+def bimodal_50_1_50_100():
+    """High-dispersion workload 1 (Fig. 6): 50% of requests take 1 µs and
+    50% take 100 µs — modeled on YCSB workload A (section 5.2)."""
+    return bimodal(50, 1.0, 50, 100.0)
+
+
+def bimodal_995_05_500():
+    """High-dispersion workload 2 (Fig. 7): 99.5% take 0.5 µs, 0.5% take
+    500 µs — modeled on Meta's USR workload (section 5.2)."""
+    return bimodal(99.5, 0.5, 0.5, 500.0)
+
+
+def fixed_1us():
+    """Low-dispersion workload 1 (Fig. 8 left): every request takes 1 µs."""
+    return ClassMix([RequestClass("fixed", 1.0, Fixed(1.0))], name="Fixed(1)")
+
+
+def tpcc():
+    """Low-dispersion workload 2 (Fig. 8 right): the TPC-C transaction mix
+    running on an in-memory database, from Persephone (section 5.2):
+
+    Payment 5.7 µs (44%), OrderStatus 6 µs (4%), NewOrder 20 µs (44%),
+    Delivery 88 µs (4%), StockLevel 100 µs (4%).
+    """
+    classes = [
+        RequestClass("Payment", 0.44, Fixed(5.7)),
+        RequestClass("OrderStatus", 0.04, Fixed(6.0)),
+        RequestClass("NewOrder", 0.44, Fixed(20.0)),
+        RequestClass("Delivery", 0.04, Fixed(88.0)),
+        RequestClass("StockLevel", 0.04, Fixed(100.0)),
+    ]
+    return ClassMix(classes, name="TPCC")
+
+
+def leveldb_50get_50scan():
+    """LevelDB workload 1 (Fig. 9): 50% single-key GETs, 50% full-database
+    SCANs — the Shinjuku/Persephone comparison workload (section 5.3)."""
+    classes = [
+        RequestClass("GET", 0.5, Fixed(LEVELDB_GET_US)),
+        RequestClass("SCAN", 0.5, Fixed(LEVELDB_SCAN_US)),
+    ]
+    return ClassMix(classes, name="LevelDB(50%GET,50%SCAN)")
+
+
+def leveldb_zippydb():
+    """LevelDB workload 2 (Fig. 10): the request mix of Meta's ZippyDB
+    production traces — 78% GETs, 13% PUTs, 6% DELETEs, 3% SCANs
+    (section 5.3)."""
+    classes = [
+        RequestClass("GET", 0.78, Fixed(LEVELDB_GET_US)),
+        RequestClass("PUT", 0.13, Fixed(LEVELDB_PUT_US)),
+        RequestClass("DELETE", 0.06, Fixed(LEVELDB_DELETE_US)),
+        RequestClass("SCAN", 0.03, Fixed(LEVELDB_SCAN_US)),
+    ]
+    return ClassMix(classes, name="LevelDB(ZippyDB)")
+
+
+#: Registry of the paper's workloads by short name.
+NAMED_WORKLOADS = {
+    "bimodal-50-1-50-100": bimodal_50_1_50_100,
+    "bimodal-995-05-500": bimodal_995_05_500,
+    "fixed-1": fixed_1us,
+    "tpcc": tpcc,
+    "leveldb-5050": leveldb_50get_50scan,
+    "leveldb-zippydb": leveldb_zippydb,
+}
+
+
+def workload_by_name(name):
+    """Look up one of the paper's workloads by registry key."""
+    try:
+        factory = NAMED_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload {!r}; known: {}".format(
+                name, ", ".join(sorted(NAMED_WORKLOADS))
+            )
+        ) from None
+    return factory()

@@ -1,0 +1,57 @@
+"""Tests for the Concord application API and its Server integration."""
+
+import random
+
+import pytest
+
+from repro.core import Application, Server, SyntheticApp, persephone_fcfs
+from repro.hardware import c6420
+from repro.kvstore import LevelDBApp
+from repro.workloads import PoissonProcess, fixed_1us
+
+
+class TestApplicationBase:
+    def test_handle_request_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Application().handle_request({})
+
+    def test_default_service_time_passthrough(self):
+        app = Application()
+        assert app.service_time_us("GET", 1.5, random.Random(0)) == 1.5
+
+
+class TestSyntheticApp:
+    def test_counts_requests(self):
+        app = SyntheticApp()
+        app.setup()
+        app.setup_worker(0)
+        app.setup_worker(1)
+        response = app.handle_request({})
+        assert response["status"] == "ok"
+        assert app.requests_handled == 1
+        assert app.workers_seen == {0, 1}
+
+
+class TestServerIntegration:
+    def test_setup_hooks_called_per_worker(self):
+        app = SyntheticApp()
+        Server(c6420(3), persephone_fcfs(), seed=0, app=app)
+        assert app.workers_seen == {0, 1, 2}
+
+    def test_service_time_hook_applied(self):
+        class Doubler(Application):
+            def handle_request(self, request):
+                return None
+
+            def service_time_us(self, kind, sampled_us, rng):
+                return sampled_us * 2.0
+
+        server = Server(c6420(2), persephone_fcfs(), seed=0, app=Doubler())
+        result = server.run(fixed_1us(), PoissonProcess(10_000), 50)
+        assert all(r.service_us == 2.0 for r in result.records)
+
+    def test_leveldb_app_populates_on_setup(self):
+        app = LevelDBApp(num_keys=25)
+        Server(c6420(2), persephone_fcfs(), seed=0, app=app)
+        assert app.db.count() == 25
+        assert app.workers_seen == {0, 1}

@@ -1,0 +1,116 @@
+"""Focused tests for dispatcher behaviour: action priorities, stale-signal
+skipping, and the work-conserving steal path."""
+
+import pytest
+
+from repro.core import Server, concord, shinjuku
+from repro.core.presets import concord_no_steal, persephone_fcfs
+from repro.hardware import c6420
+from repro.workloads import DeterministicProcess, PoissonProcess
+from repro.workloads.distributions import bimodal
+from repro.workloads.named import bimodal_50_1_50_100, fixed_1us
+
+
+def make_server(config, workers=2, seed=0):
+    return Server(c6420(workers), config, seed=seed)
+
+
+class TestSignalHandling:
+    def test_stale_signals_are_skipped_cheaply(self):
+        # Short quanta on a workload with many completions near the quantum
+        # boundary produce stale preemption entries, which the dispatcher
+        # must skip without paying signal costs.
+        config = shinjuku(1.0)
+        server = make_server(config, workers=4)
+        workload = bimodal(50, 1.05, 50, 1.1)
+        result = server.run(workload, PoissonProcess(1_000_000), 3000)
+        stats = result.dispatcher_stats
+        assert stats["stale_signals_skipped"] > 0
+        assert stats["signals_sent"] + stats["stale_signals_skipped"] > 0
+
+    def test_signals_sent_at_most_once_per_quantum(self):
+        config = shinjuku(5.0)
+        server = make_server(config, workers=2)
+        workload = bimodal(50, 1.0, 50, 20.0)
+        result = server.run(workload, PoissonProcess(50_000), 2000)
+        total_preempts = sum(r.preemptions for r in result.records)
+        # Every worker preemption was triggered by exactly one signal.
+        assert result.dispatcher_stats["signals_sent"] >= total_preempts
+
+
+class TestWorkConservation:
+    def test_steal_buffer_requests_complete(self):
+        config = concord(5.0)
+        server = make_server(config, workers=2, seed=4)
+        # Overload so per-worker queues are full and the dispatcher steals.
+        result = server.run(bimodal_50_1_50_100(), PoissonProcess(60_000),
+                            3000)
+        stats = result.dispatcher_stats
+        assert stats["steals_started"] > 0
+        assert stats["steal_completions"] == len(result.stolen_requests())
+        assert result.drained
+
+    def test_steal_accounts_busy_cycles(self):
+        config = concord(5.0)
+        server = make_server(config, workers=2, seed=4)
+        result = server.run(bimodal_50_1_50_100(), PoissonProcess(60_000),
+                            3000)
+        if result.dispatcher_stats["steals_started"]:
+            assert result.dispatcher_stats["steal_busy_cycles"] > 0
+
+    def test_no_steals_when_workers_have_slots(self):
+        config = concord(5.0)
+        server = make_server(config, workers=8, seed=4)
+        # Trivial load: queues never fill, so nothing to steal.
+        result = server.run(fixed_1us(), PoissonProcess(10_000), 500)
+        assert result.dispatcher_stats["steals_started"] == 0
+
+    def test_stolen_share_grows_with_load(self):
+        def stolen_count(rate):
+            server = make_server(concord(5.0), workers=2, seed=9)
+            result = server.run(
+                bimodal_50_1_50_100(), PoissonProcess(rate), 2500
+            )
+            return result.dispatcher_stats["steal_completions"]
+
+        assert stolen_count(55_000) >= stolen_count(20_000)
+
+
+class TestDispatcherSaturation:
+    def test_dispatcher_bound_workload_saturates_dispatcher(self):
+        server = make_server(persephone_fcfs(), workers=14)
+        result = server.run(fixed_1us(), PoissonProcess(4_500_000), 20_000)
+        assert result.dispatcher_utilization() > 0.95
+
+    def test_rx_override_lowers_dispatcher_load(self):
+        base = make_server(persephone_fcfs(), workers=14).run(
+            fixed_1us(), PoissonProcess(3_000_000), 8000
+        )
+        cheap_rx = make_server(
+            persephone_fcfs().replace(rx_cost_cycles=10), workers=14
+        ).run(fixed_1us(), PoissonProcess(3_000_000), 8000)
+        assert (
+            cheap_rx.dispatcher_stats["busy_cycles"]
+            < base.dispatcher_stats["busy_cycles"]
+        )
+
+
+class TestDeterministicArrivals:
+    def test_single_worker_single_request_latency_budget(self):
+        # One sparse request: sojourn = rx + push + receive + switch +
+        # service, each charged exactly once.
+        from repro import constants
+
+        server = make_server(persephone_fcfs(), workers=1)
+        result = server.run(fixed_1us(), DeterministicProcess(1000), 1)
+        record = result.records[0]
+        extra = record.sojourn_cycles() - record.service_cycles
+        scale = persephone_fcfs().dispatch_cost_scale
+        expected_floor = (
+            int(constants.DISPATCH_RX_CYCLES * scale)
+            + int(constants.DISPATCH_PUSH_CYCLES * scale)
+            + constants.SQ_WORKER_RECEIVE_CYCLES
+            + constants.COOP_CONTEXT_SWITCH_CYCLES
+        )
+        # Runtime bookkeeping stretches service slightly; allow small slack.
+        assert expected_floor <= extra <= expected_floor + 100

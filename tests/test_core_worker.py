@@ -1,0 +1,108 @@
+"""Focused tests for worker behaviour: epoch guards, idle accounting,
+timing invariants."""
+
+from repro.core import Server, concord, shinjuku
+from repro.core.presets import concord_no_steal, persephone_fcfs
+from repro.hardware import c6420
+from repro.workloads import PoissonProcess
+from repro.workloads.distributions import bimodal
+from repro.workloads.named import bimodal_50_1_50_100, fixed_1us
+
+
+def run(config, workload, rate, n, workers=4, seed=2):
+    server = Server(c6420(workers), config, seed=seed)
+    return server.run(workload, PoissonProcess(rate), n), server
+
+
+class TestEpochGuards:
+    def test_wasted_signals_counted_not_crashed(self):
+        # Aggressive quantum close to the service time races completions
+        # against preemption notices.
+        workload = bimodal(50, 2.0, 50, 2.2)
+        result, server = run(shinjuku(2.0), workload, 800_000, 4000)
+        assert result.drained
+        wasted = sum(w.wasted_signals for w in server.workers)
+        assert wasted >= 0  # never negative, never fatal
+
+    def test_preempted_work_is_conserved(self):
+        result, _server = run(
+            concord(2.0), bimodal_50_1_50_100(), 100_000, 2000
+        )
+        for record in result.records:
+            assert record.remaining_cycles == 0
+            # A 100us request with a 2us quantum must be preempted a lot.
+            if record.kind == "long" and not record.started_by_dispatcher:
+                assert record.preemptions > 10
+
+
+class TestIdleAccounting:
+    def test_idle_plus_busy_bounded_by_duration(self):
+        result, server = run(
+            persephone_fcfs(), fixed_1us(), 2_000_000, 5000, workers=4
+        )
+        duration = result.end_cycle
+        for worker in server.workers:
+            assert worker.idle_cycles + worker.busy_cycles <= duration + 1
+
+    def test_work_cycles_match_completed_service(self):
+        result, server = run(
+            persephone_fcfs(), fixed_1us(), 1_000_000, 3000, workers=4
+        )
+        total_work = sum(w.work_cycles for w in server.workers)
+        total_service = sum(r.service_cycles for r in result.records)
+        assert total_work == total_service
+
+    def test_work_conserved_under_preemption(self):
+        result, server = run(
+            shinjuku(5.0), bimodal_50_1_50_100(), 100_000, 2000, workers=4
+        )
+        total_work = sum(w.work_cycles for w in server.workers)
+        total_service = sum(r.service_cycles for r in result.records)
+        # Integer rounding at each preemption loses < 1 cycle per slice.
+        total_preemptions = sum(r.preemptions for r in result.records)
+        assert abs(total_work - total_service) <= total_preemptions + 1
+
+
+class TestTimingInvariants:
+    def test_first_dispatch_after_arrival(self):
+        result, _server = run(
+            concord(5.0), bimodal_50_1_50_100(), 150_000, 2000
+        )
+        for record in result.records:
+            assert record.first_dispatch_cycle >= record.arrival_cycle
+            assert record.completion_cycle > record.first_dispatch_cycle
+
+    def test_instrumentation_stretches_service(self):
+        # Concord's worker executes instrumented code: minimum slowdown of
+        # a never-preempted request exceeds the instrumentation tax.
+        result, server = run(concord(50.0), fixed_1us(), 1_000, 300)
+        untouched = [r for r in result.records if r.preemptions == 0
+                     and not r.started_by_dispatcher]
+        assert untouched
+        for record in untouched:
+            sojourn = record.sojourn_cycles()
+            assert sojourn >= record.service_cycles * server.worker_rate - 1
+
+    def test_completion_order_matches_records_list(self):
+        result, _server = run(
+            persephone_fcfs(), fixed_1us(), 500_000, 1000
+        )
+        cycles = [r.completion_cycle for r in result.records]
+        assert cycles == sorted(cycles)
+
+
+class TestStolenRequestTiming:
+    def test_stolen_requests_run_slower(self):
+        # Stolen requests execute rdtsc-instrumented code on the dispatcher
+        # and cannot migrate back (section 3.3/5.5): their minimum
+        # processing time reflects the dispatcher rate.
+        result, server = run(
+            concord(5.0), bimodal_50_1_50_100(), 60_000, 4000, workers=2,
+            seed=5,
+        )
+        stolen = [r for r in result.stolen_requests()
+                  if r.kind == "short" and r.preemptions == 0]
+        if stolen:  # load-dependent; guard for robustness
+            for record in stolen:
+                processing = record.completion_cycle - record.first_dispatch_cycle
+                assert processing >= record.service_cycles

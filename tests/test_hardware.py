@@ -1,0 +1,94 @@
+"""Unit tests for the hardware model."""
+
+import pytest
+
+from repro import constants
+from repro.hardware import (
+    CoherenceModel,
+    CycleClock,
+    MachineSpec,
+    c6420,
+    cloud_vm_4core,
+    sapphire_rapids,
+)
+
+
+class TestCycleClock:
+    def test_default_frequency_matches_testbed(self):
+        assert CycleClock().freq_hz == 2_600_000_000
+
+    def test_us_roundtrip(self):
+        clock = CycleClock()
+        assert clock.us_to_cycles(1) == 2600
+        assert clock.cycles_to_us(2600) == pytest.approx(1.0)
+
+    def test_ns_conversion(self):
+        clock = CycleClock()
+        assert clock.ns_to_cycles(100) == 260
+        assert clock.cycles_to_ns(260) == pytest.approx(100.0)
+
+    def test_fractional_us_rounds_up(self):
+        clock = CycleClock(1_000_000_000)  # 1 GHz: 1 cycle per ns
+        assert clock.us_to_cycles(0.0005) == 1  # half a ns rounds up
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            CycleClock(0)
+
+    def test_equality_and_hash(self):
+        assert CycleClock(10) == CycleClock(10)
+        assert hash(CycleClock(10)) == hash(CycleClock(10))
+        assert CycleClock(10) != CycleClock(20)
+
+    def test_seconds_conversion(self):
+        clock = CycleClock(2_000_000_000)
+        assert clock.cycles(1.0) == 2_000_000_000
+        assert clock.cycles_to_seconds(2_000_000_000) == pytest.approx(1.0)
+
+
+class TestCoherenceModel:
+    def test_paper_constants_at_unit_scale(self):
+        model = CoherenceModel()
+        assert model.probe_miss_cycles == constants.CACHELINE_MISS_CYCLES
+        assert model.sq_handoff_cycles == constants.SQ_HANDOFF_CYCLES
+
+    def test_sapphire_rapids_scaling(self):
+        model = CoherenceModel(1.5)
+        assert model.probe_miss_cycles == int(
+            round(1.5 * constants.CACHELINE_MISS_CYCLES)
+        )
+        assert model.uipi_receive_cycles == int(
+            round(1.5 * constants.UIPI_RECEIVE_CYCLES)
+        )
+
+    def test_scaled_composes(self):
+        assert CoherenceModel(1.0).scaled(2.0).scale == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            CoherenceModel(0)
+
+
+class TestMachineSpec:
+    def test_c6420_defaults(self):
+        machine = c6420()
+        assert machine.num_workers == 14
+        assert machine.clock.freq_hz == 2_600_000_000
+        assert machine.total_threads == 15
+
+    def test_cloud_vm_shape(self):
+        # 4 vCPUs: dispatcher + networker + 2 workers (Fig. 13).
+        assert cloud_vm_4core().num_workers == 2
+
+    def test_sapphire_rapids_coherence(self):
+        machine = sapphire_rapids()
+        assert machine.coherence.scale == pytest.approx(1.5)
+
+    def test_with_workers(self):
+        machine = c6420().with_workers(4)
+        assert machine.num_workers == 4
+        assert machine.name == "c6420"
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", num_workers=0)

@@ -1,0 +1,267 @@
+"""Tests for the Python -> IR compiler frontend."""
+
+import pytest
+
+from repro.instrument import (
+    CACHELINE_STYLE,
+    Interpreter,
+    ProbeInsertionPass,
+    profile_kernel,
+)
+from repro.instrument.cfg import ControlFlowGraph
+from repro.instrument.frontend import (
+    CompileError,
+    compile_function,
+    compile_module,
+    extern,
+    mem,
+)
+
+
+def run(module, args=()):
+    return Interpreter(module).run(args=args)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        def main():
+            x = 6
+            y = 7
+            return x * y + 1
+
+        assert run(compile_module([main])).value == 43
+
+    def test_float_division(self):
+        def main():
+            return 1.0 / 4.0
+
+        assert run(compile_module([main])).value == 0.25
+
+    def test_unary_minus_and_not(self):
+        def main():
+            x = 5
+            y = -x
+            z = not 0
+            return y + z
+
+        assert run(compile_module([main])).value == -4
+
+    def test_bit_operations(self):
+        def main():
+            x = 0b1100
+            return ((x >> 2) | 1) ^ 2
+
+        assert run(compile_module([main])).value == ((0b1100 >> 2) | 1) ^ 2
+
+    def test_comparisons(self):
+        def main():
+            a = 3 < 4
+            b = 4 <= 4
+            c = 5 == 5
+            d = 5 != 5
+            e = 7 > 6
+            f = 7 >= 8
+            return a + b + c + d + e + f
+
+        assert run(compile_module([main])).value == 4
+
+    def test_augmented_assignment(self):
+        def main():
+            x = 1
+            x += 4
+            x *= 3
+            return x
+
+        assert run(compile_module([main])).value == 15
+
+
+class TestControlFlow:
+    def test_range_loop(self):
+        def main(n):
+            acc = 0
+            for i in range(n):
+                acc += i
+            return acc
+
+        assert run(compile_module([main]), args=(10,)).value == 45
+
+    def test_range_start_stop_step(self):
+        def main():
+            acc = 0
+            for i in range(2, 12, 3):
+                acc += i
+            return acc
+
+        assert run(compile_module([main])).value == 2 + 5 + 8 + 11
+
+    def test_nested_loops_have_two_natural_loops(self):
+        def main(n):
+            acc = 0
+            for i in range(n):
+                for j in range(n):
+                    acc += i * j
+            return acc
+
+        module = compile_module([main])
+        cfg = ControlFlowGraph(module.entry_function())
+        assert len(cfg.natural_loops()) == 2
+        assert run(module, args=(5,)).value == sum(
+            i * j for i in range(5) for j in range(5)
+        )
+
+    def test_while_loop(self):
+        def main():
+            x = 1
+            while x < 100:
+                x = x * 2
+            return x
+
+        assert run(compile_module([main])).value == 128
+
+    def test_if_else(self):
+        def main(n):
+            if n < 10:
+                result = 1
+            else:
+                result = 2
+            return result
+
+        module = compile_module([main])
+        assert run(module, args=(5,)).value == 1
+        module = compile_module([main])
+        assert run(module, args=(50,)).value == 2
+
+    def test_if_with_returns_in_both_arms(self):
+        def main(n):
+            if n == 0:
+                return 100
+            else:
+                return 200
+
+        module = compile_module([main])
+        assert run(module, args=(0,)).value == 100
+
+    def test_if_without_else(self):
+        def main(n):
+            result = 0
+            if n > 5:
+                result = 1
+            return result
+
+        module = compile_module([main])
+        assert run(module, args=(10,)).value == 1
+
+
+class TestMemoryAndCalls:
+    def test_mem_load_store(self):
+        def main():
+            mem[3] = 42
+            return mem[3] + mem[4]
+
+        assert run(compile_module([main])).value == 42
+
+    def test_extern_costs_cycles(self):
+        def main():
+            extern("syscall", 5000)
+            return 0
+
+        result = run(compile_module([main]))
+        assert result.cycles >= 5000
+
+    def test_cross_function_call(self):
+        def helper(x):
+            return x * 2
+
+        def main(n):
+            return helper(n) + 1
+
+        module = compile_module([helper, main])
+        assert run(module, args=(5,)).value == 11
+
+    def test_unknown_call_rejected(self):
+        def main():
+            return missing()  # noqa: F821
+
+        with pytest.raises(CompileError):
+            compile_module([main])
+
+
+class TestRejections:
+    def test_non_range_for(self):
+        def main(items):
+            for x in items:
+                pass
+
+        with pytest.raises(CompileError):
+            compile_function(main)
+
+    def test_unsupported_statement(self):
+        def main():
+            try:
+                x = 1
+            except Exception:
+                x = 2
+            return x
+
+        with pytest.raises(CompileError):
+            compile_function(main)
+
+    def test_chained_comparison(self):
+        def main(x):
+            return 0 < x < 10
+
+        with pytest.raises(CompileError):
+            compile_function(main)
+
+    def test_string_literal(self):
+        def main():
+            return "nope"
+
+        with pytest.raises(CompileError):
+            compile_function(main)
+
+    def test_empty_module(self):
+        with pytest.raises(CompileError):
+            compile_module([])
+
+    def test_unreachable_after_return(self):
+        def main():
+            return 1
+            x = 2  # noqa
+
+        with pytest.raises(CompileError):
+            compile_function(main)
+
+
+class TestPipelineIntegration:
+    def test_compiled_kernel_profiles_like_builtin(self):
+        def main(n):
+            acc = 0.0
+            for i in range(n):
+                acc = acc + mem[i] * 1.5
+                mem[i] = acc
+            return acc
+
+        profile = profile_kernel(
+            lambda: compile_module([main], name="user-stream"),
+            CACHELINE_STYLE,
+            args=(5000,),
+        )
+        assert profile.probes_fired > 0
+        assert -0.2 < profile.overhead_fraction < 0.05
+        assert profile.timeliness_std_us(5.0) < 2.0
+
+    def test_instrumented_result_unchanged(self):
+        def main(n):
+            acc = 0
+            for i in range(n):
+                acc += i
+            return acc
+
+        module = compile_module([main])
+        base = run(module, args=(500,)).value
+        instrumented = compile_module([main])
+        ProbeInsertionPass(CACHELINE_STYLE).run(
+            instrumented.entry_function()
+        )
+        assert run(instrumented, args=(500,)).value == base

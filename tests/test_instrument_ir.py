@@ -1,0 +1,171 @@
+"""Tests for the IR, builder, and CFG analyses."""
+
+import pytest
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.cfg import ControlFlowGraph
+from repro.instrument.ir import BasicBlock, Function, Instr, Module, Terminator
+
+
+def simple_loop_function(trip=10, body_ops=3):
+    b = FunctionBuilder("f")
+    b.li("acc", 0)
+
+    def body(i):
+        for _ in range(body_ops):
+            b.emit("add", "acc", "acc", i)
+
+    b.counted_loop("loop", trip, body)
+    b.ret("acc")
+    return b.function
+
+
+class TestIR:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instr("frobnicate", "x")
+
+    def test_unknown_terminator_rejected(self):
+        with pytest.raises(ValueError):
+            Terminator("goto", ("x",))
+
+    def test_block_single_termination(self):
+        block = BasicBlock("b")
+        block.terminate(Terminator("ret"))
+        with pytest.raises(ValueError):
+            block.terminate(Terminator("ret"))
+        with pytest.raises(ValueError):
+            block.append(Instr("li", "x", (1,)))
+
+    def test_terminator_successors(self):
+        assert Terminator("jump", ("a",)).successors() == ["a"]
+        assert Terminator("br", ("c", "a", "b")).successors() == ["a", "b"]
+        assert Terminator("ret").successors() == []
+
+    def test_function_entry_is_first_block(self):
+        fn = Function("f")
+        fn.add_block("start")
+        fn.add_block("other")
+        assert fn.entry == "start"
+
+    def test_duplicate_block_rejected(self):
+        fn = Function("f")
+        fn.add_block("a")
+        with pytest.raises(ValueError):
+            fn.add_block("a")
+
+    def test_module_entry_function(self):
+        module = Module("m")
+        f = Function("main")
+        module.add(f)
+        assert module.entry_function() is f
+        with pytest.raises(ValueError):
+            module.add(Function("main"))
+
+    def test_module_single_function_fallback(self):
+        module = Module("m")
+        f = Function("solo")
+        module.add(f)
+        assert module.entry_function() is f
+
+    def test_module_ambiguous_entry(self):
+        module = Module("m")
+        module.add(Function("a"))
+        module.add(Function("b"))
+        with pytest.raises(ValueError):
+            module.entry_function()
+
+    def test_instruction_count_excludes_probes(self):
+        block = BasicBlock("b")
+        block.append(Instr("add", "x", ("x", 1)))
+        block.append(Instr("probe", None, (), {"cost": 2}))
+        assert block.instruction_count == 1
+
+
+class TestBuilder:
+    def test_counted_loop_structure(self):
+        fn = simple_loop_function(trip=5)
+        labels = set(fn.blocks)
+        assert {"entry", "loop.header", "loop.body", "loop.latch",
+                "loop.exit"} <= labels
+
+    def test_fresh_names_unique(self):
+        b = FunctionBuilder("f")
+        names = {b.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_ext_call_carries_cost(self):
+        b = FunctionBuilder("f")
+        b.ext_call("x", "memcpy", 500)
+        b.ret()
+        instr = b.function.block("entry").instrs[0]
+        assert instr.is_ext_call
+        assert instr.attrs["cost"] == 500
+
+
+class TestCFG:
+    def test_predecessors_and_successors(self):
+        fn = simple_loop_function()
+        cfg = ControlFlowGraph(fn)
+        assert set(cfg.successors["loop.header"]) == {"loop.body", "loop.exit"}
+        assert "loop.latch" in cfg.predecessors["loop.header"]
+
+    def test_reachable_includes_all_loop_blocks(self):
+        fn = simple_loop_function()
+        cfg = ControlFlowGraph(fn)
+        assert "loop.body" in cfg.reachable()
+
+    def test_dominators_header_dominates_latch(self):
+        fn = simple_loop_function()
+        cfg = ControlFlowGraph(fn)
+        dom = cfg.dominators()
+        assert "loop.header" in dom["loop.latch"]
+        assert "entry" in dom["loop.exit"]
+
+    def test_back_edge_detected(self):
+        fn = simple_loop_function()
+        cfg = ControlFlowGraph(fn)
+        assert ("loop.latch", "loop.header") in cfg.back_edges()
+
+    def test_natural_loop_body(self):
+        fn = simple_loop_function()
+        cfg = ControlFlowGraph(fn)
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].body == {"loop.header", "loop.body", "loop.latch"}
+
+    def test_nested_loops_found(self):
+        b = FunctionBuilder("nested")
+        b.li("acc", 0)
+
+        def outer(i):
+            def inner(j):
+                b.emit("add", "acc", "acc", j)
+
+            b.counted_loop("in", 3, inner)
+
+        b.counted_loop("out", 3, outer)
+        b.ret("acc")
+        cfg = ControlFlowGraph(b.function)
+        assert len(cfg.natural_loops()) == 2
+
+    def test_straightline_has_no_loops(self):
+        b = FunctionBuilder("line")
+        b.li("x", 1)
+        b.ret("x")
+        cfg = ControlFlowGraph(b.function)
+        assert cfg.back_edges() == []
+        assert cfg.natural_loops() == []
+
+    def test_unterminated_block_rejected(self):
+        fn = Function("f")
+        fn.add_block("entry")
+        with pytest.raises(ValueError):
+            ControlFlowGraph(fn)
+
+    def test_unknown_target_rejected(self):
+        fn = Function("f")
+        block = fn.add_block("entry")
+        block.terminate(Terminator("jump", ("nowhere",)))
+        with pytest.raises(ValueError):
+            ControlFlowGraph(fn)

@@ -1,0 +1,144 @@
+"""Tests for constant folding and dead-code elimination."""
+
+import pytest
+
+from repro.instrument import FunctionBuilder, Interpreter
+from repro.instrument.ir import Module
+from repro.instrument.optim import (
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    optimize_function,
+)
+
+
+def module_of(builder):
+    module = Module("t")
+    module.add(builder.function)
+    return module
+
+
+class TestConstantFolding:
+    def test_folds_literal_arithmetic(self):
+        b = FunctionBuilder("main")
+        b.li("x", 6)
+        b.li("y", 7)
+        b.emit("mul", "z", "x", "y")
+        b.ret("z")
+        fn = b.function
+        assert ConstantFoldingPass().run(fn) > 0
+        ops = [i.op for i in fn.block("entry").instrs]
+        assert ops == ["li", "li", "li"]  # mul folded to li 42
+        assert Interpreter(module_of(b)).run().value == 42
+
+    def test_folds_branch_condition(self):
+        b = FunctionBuilder("main")
+        b.li("c", 1)
+        cond = b.fresh("cond")
+        b.emit("cmp_lt", cond, "c", 10)
+        b.br(cond, "then", "else")
+        b.block("then")
+        b.ret(111)
+        b.block("else")
+        b.ret(222)
+        fn = b.function
+        ConstantFoldingPass().run(fn)
+        assert fn.block("entry").terminator.args[0] == 1
+        assert Interpreter(module_of(b)).run().value == 111
+
+    def test_division_by_literal_zero_folds_to_zero(self):
+        b = FunctionBuilder("main")
+        b.emit("fdiv", "x", 1.0, 0.0)
+        b.ret("x")
+        fn = b.function
+        ConstantFoldingPass().run(fn)
+        assert Interpreter(module_of(b)).run().value == 0.0
+
+    def test_does_not_fold_across_calls(self):
+        module = Module("m")
+        helper = FunctionBuilder("helper")
+        helper.ret(5)
+        module.add(helper.function)
+        b = FunctionBuilder("main")
+        b.li("x", 1)
+        b.call("x", "helper")  # x is no longer the literal 1
+        b.emit("add", "y", "x", 0)
+        b.ret("y")
+        module.add(b.function)
+        ConstantFoldingPass().run(b.function)
+        assert Interpreter(module).run().value == 5
+
+    def test_preserves_semantics_on_kernels(self):
+        from repro.instrument.kernels import KERNELS
+
+        for spec in KERNELS[:8]:
+            reference = Interpreter(spec.build(scale=0.05)).run()
+            module = spec.build(scale=0.05)
+            for fn in module.functions.values():
+                optimize_function(fn)
+            optimized = Interpreter(module).run()
+            assert optimized.value == reference.value, spec.name
+            assert optimized.cycles <= reference.cycles, spec.name
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_pure_instructions(self):
+        b = FunctionBuilder("main")
+        b.li("unused", 123)
+        b.emit("mul", "also_unused", "unused", 2)
+        b.li("result", 7)
+        b.ret("result")
+        fn = b.function
+        removed = DeadCodeEliminationPass().run(fn)
+        assert removed == 2
+        assert Interpreter(module_of(b)).run().value == 7
+
+    def test_keeps_stores_and_calls(self):
+        module = Module("m")
+        helper = FunctionBuilder("helper")
+        helper.ret(1)
+        module.add(helper.function)
+        b = FunctionBuilder("main")
+        b.li("v", 9)
+        b.emit("store", None, "v", 3)
+        b.call("ignored", "helper")
+        b.emit("load", "out", 3)
+        b.ret("out")
+        module.add(b.function)
+        DeadCodeEliminationPass().run(b.function)
+        ops = [i.op for i in b.function.block("entry").instrs]
+        assert "store" in ops and "call" in ops
+        assert Interpreter(module).run().value == 9
+
+    def test_transitively_dead_chain_removed(self):
+        b = FunctionBuilder("main")
+        b.li("a", 1)
+        b.emit("add", "b", "a", 1)
+        b.emit("add", "c", "b", 1)  # c unused -> whole chain dead
+        b.ret(0)
+        removed = DeadCodeEliminationPass().run(b.function)
+        assert removed == 3
+
+    def test_loop_variables_survive(self):
+        b = FunctionBuilder("main")
+        b.li("acc", 0)
+
+        def body(i):
+            b.emit("add", "acc", "acc", i)
+
+        b.counted_loop("l", 10, body)
+        b.ret("acc")
+        DeadCodeEliminationPass().run(b.function)
+        assert Interpreter(module_of(b)).run().value == 45
+
+
+class TestPipeline:
+    def test_optimize_reaches_fixed_point(self):
+        b = FunctionBuilder("main")
+        b.li("x", 2)
+        b.emit("mul", "y", "x", 3)     # foldable -> li 6
+        b.emit("add", "dead", "y", 1)  # dead after folding
+        b.ret("y")
+        changes = optimize_function(b.function)
+        assert changes > 0
+        assert optimize_function(b.function) == 0
+        assert Interpreter(module_of(b)).run().value == 6

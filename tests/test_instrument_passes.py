@@ -1,0 +1,181 @@
+"""Tests for the probe-insertion, unroll, and baseline-optimize passes."""
+
+import pytest
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.ir import Function, Module, Terminator
+from repro.instrument.passes import (
+    BaselineOptimizePass,
+    CACHELINE_STYLE,
+    RDTSC_STYLE,
+    LoopUnrollPass,
+    ProbeInsertionPass,
+    VerifyError,
+    verify_function,
+)
+
+
+def tight_loop_function(trip=100, body_ops=5):
+    b = FunctionBuilder("tight")
+    b.li("acc", 0)
+
+    def body(i):
+        for _ in range(body_ops):
+            b.emit("add", "acc", "acc", 1)
+
+    b.counted_loop("l", trip, body)
+    b.ret("acc")
+    return b.function
+
+
+def ext_call_loop_function(trip=10, cost=1000):
+    b = FunctionBuilder("extloop")
+    b.li("acc", 0)
+
+    def body(i):
+        b.ext_call(b.fresh("e"), "syscall", cost)
+        b.emit("add", "acc", "acc", 1)
+
+    b.counted_loop("l", trip, body)
+    b.ret("acc")
+    return b.function
+
+
+class TestVerify:
+    def test_valid_function_passes(self):
+        assert verify_function(tight_loop_function())
+
+    def test_missing_terminator(self):
+        fn = Function("bad")
+        fn.add_block("entry")
+        with pytest.raises(VerifyError):
+            verify_function(fn)
+
+    def test_unknown_jump_target(self):
+        fn = Function("bad")
+        block = fn.add_block("entry")
+        block.terminate(Terminator("jump", ("gone",)))
+        with pytest.raises(VerifyError):
+            verify_function(fn)
+
+    def test_ext_call_requires_cost(self):
+        b = FunctionBuilder("f")
+        from repro.instrument.ir import Instr
+
+        b._current.append(Instr("ext_call", "x", ("foo",)))
+        b.ret()
+        with pytest.raises(VerifyError):
+            verify_function(b.function)
+
+
+class TestProbeInsertion:
+    def test_probe_at_function_entry(self):
+        fn = tight_loop_function()
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        entry = fn.block(fn.entry)
+        assert entry.instrs[0].is_probe
+
+    def test_probe_at_loop_back_edge(self):
+        fn = tight_loop_function()
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        latch = fn.block("l.latch")
+        assert any(i.is_probe for i in latch.instrs)
+
+    def test_probes_around_ext_calls(self):
+        fn = ext_call_loop_function()
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        body = fn.block("l.body")
+        ops = [("probe" if i.is_probe else i.op) for i in body.instrs]
+        idx = ops.index("ext_call")
+        assert ops[idx - 1] == "probe"
+        assert ops[idx + 1] == "probe"
+
+    def test_rdtsc_probes_carry_threshold(self):
+        fn = tight_loop_function()
+        ProbeInsertionPass(RDTSC_STYLE).run(fn)
+        probes = [
+            i for blk in fn.iter_blocks() for i in blk.instrs if i.is_probe
+        ]
+        assert probes
+        assert all("threshold" in p.attrs for p in probes)
+        assert all(p.attrs["cost"] == 30 for p in probes)
+
+    def test_cacheline_probe_costs_two_cycles(self):
+        fn = tight_loop_function()
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        probes = [
+            i for blk in fn.iter_blocks() for i in blk.instrs if i.is_probe
+        ]
+        assert all(p.attrs["cost"] == 2 for p in probes)
+        assert all("threshold" not in p.attrs for p in probes)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeInsertionPass("morse")
+
+    def test_returns_probe_count(self):
+        fn = tight_loop_function()
+        inserted = ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        assert inserted == fn.probe_count()
+
+
+class TestLoopUnroll:
+    def test_tight_loop_gets_period(self):
+        fn = tight_loop_function(body_ops=5)
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        unrolled = LoopUnrollPass().run(fn)
+        assert unrolled == 1
+        latch_probes = [i for i in fn.block("l.latch").instrs if i.is_probe]
+        assert latch_probes[0].attrs["period"] > 1
+
+    def test_period_reaches_min_instructions(self):
+        fn = tight_loop_function(body_ops=5)
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        LoopUnrollPass(min_instructions=200).run(fn)
+        latch_probe = next(
+            i for i in fn.block("l.latch").instrs if i.is_probe
+        )
+        from repro.instrument.cfg import ControlFlowGraph
+
+        cfg = ControlFlowGraph(fn)
+        loop = cfg.natural_loops()[0]
+        body = cfg.loop_body_instruction_count(loop)
+        assert latch_probe.attrs["period"] * body >= 200
+
+    def test_wide_loop_untouched(self):
+        fn = tight_loop_function(body_ops=250)
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        assert LoopUnrollPass().run(fn) == 0
+
+    def test_ext_call_loop_skipped(self):
+        fn = ext_call_loop_function()
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        assert LoopUnrollPass().run(fn) == 0
+
+    def test_discount_set_on_terminators(self):
+        fn = tight_loop_function(body_ops=5)
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        LoopUnrollPass(discount=True).run(fn)
+        assert "discount" in fn.block("l.latch").terminator.attrs
+        assert "discount" in fn.block("l.header").terminator.attrs
+
+    def test_no_discount_mode(self):
+        fn = tight_loop_function(body_ops=5)
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        LoopUnrollPass(discount=False).run(fn)
+        assert "discount" not in fn.block("l.latch").terminator.attrs
+
+
+class TestBaselineOptimize:
+    def test_tight_loop_discounted_up_to_cap(self):
+        fn = tight_loop_function(body_ops=5)
+        assert BaselineOptimizePass(max_factor=4).run(fn) == 1
+        assert fn.block("l.latch").terminator.attrs["discount"] == 4
+
+    def test_wide_loop_untouched(self):
+        fn = tight_loop_function(body_ops=250)
+        assert BaselineOptimizePass().run(fn) == 0
+
+    def test_ext_call_loop_skipped(self):
+        fn = ext_call_loop_function()
+        assert BaselineOptimizePass().run(fn) == 0

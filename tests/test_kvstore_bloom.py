@@ -1,0 +1,78 @@
+"""Tests for bloom filters and their integration into sorted tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.memtable import ValueKind
+from repro.kvstore.table import SortedTable
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [b"key-%d" % i for i in range(2000)]
+        bloom = BloomFilter.from_keys(keys)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_low_false_positive_rate(self):
+        keys = [b"present-%d" % i for i in range(5000)]
+        bloom = BloomFilter.from_keys(keys, bits_per_key=10)
+        absent = [b"absent-%d" % i for i in range(5000)]
+        false_positives = sum(1 for key in absent if bloom.may_contain(key))
+        assert false_positives / len(absent) < 0.03
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(0)
+        assert not bloom.may_contain(b"anything")
+
+    def test_contains_operator(self):
+        bloom = BloomFilter.from_keys([b"a"])
+        assert b"a" in bloom
+
+    def test_theoretical_fp_rate_reasonable(self):
+        bloom = BloomFilter.from_keys(
+            [b"k%d" % i for i in range(1000)], bits_per_key=10
+        )
+        assert 0.0 < bloom.false_positive_rate() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(-1)
+        with pytest.raises(ValueError):
+            BloomFilter(10, bits_per_key=0)
+
+    @given(
+        keys=st.lists(st.binary(min_size=1, max_size=16), min_size=1,
+                      max_size=100, unique=True)
+    )
+    @settings(max_examples=60)
+    def test_property_members_always_found(self, keys):
+        bloom = BloomFilter.from_keys(keys)
+        assert all(key in bloom for key in keys)
+
+
+class TestTableBloomIntegration:
+    def test_absent_keys_short_circuit(self):
+        entries = [
+            (b"key-%04d" % i, ValueKind.VALUE, b"v") for i in range(500)
+        ]
+        table = SortedTable(entries)
+        rng = random.Random(0)
+        misses = 0
+        for _ in range(500):
+            key = b"miss-%d" % rng.randrange(10**6)
+            found, _value = table.get(key)
+            assert not found
+            misses += 1
+        # Nearly all misses were answered by the bloom filter alone.
+        assert table.bloom_negatives > 0.9 * misses
+
+    def test_present_keys_unaffected(self):
+        entries = [(b"a", ValueKind.VALUE, b"1"), (b"b", ValueKind.VALUE, b"2")]
+        table = SortedTable(entries)
+        assert table.get(b"a") == (True, b"1")
+        assert table.get(b"b") == (True, b"2")
+        assert table.bloom_negatives == 0

@@ -1,0 +1,235 @@
+"""Tests for the DB facade, cost model, and LevelDB application."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import (
+    DB,
+    DBOptions,
+    LevelDBApp,
+    LevelDBCostModel,
+    WriteBatch,
+    concord_lock_counter_safety,
+    leveldb_workload,
+    shinjuku_api_window_safety,
+)
+from repro.workloads.named import LEVELDB_GET_US, LEVELDB_SCAN_US
+
+
+class TestDB:
+    def test_put_get_delete(self):
+        db = DB()
+        db.put(b"k", b"v")
+        assert db.get(b"k") == b"v"
+        db.delete(b"k")
+        assert db.get(b"k") is None
+        assert b"k" not in db
+
+    def test_overwrite(self):
+        db = DB()
+        db.put(b"k", b"v1")
+        db.put(b"k", b"v2")
+        assert db.get(b"k") == b"v2"
+
+    def test_write_batch_atomic_ordering(self):
+        db = DB()
+        batch = WriteBatch().put(b"a", b"1").delete(b"a").put(b"b", b"2")
+        db.write(batch)
+        assert db.get(b"a") is None
+        assert db.get(b"b") == b"2"
+
+    def test_write_requires_batch(self):
+        with pytest.raises(TypeError):
+            DB().write([("put", b"a", b"1")])
+
+    def test_flush_preserves_reads(self):
+        db = DB(DBOptions(memtable_flush_entries=10))
+        for i in range(25):
+            db.put(b"k%02d" % i, b"v%02d" % i)
+        assert db.flushes >= 2
+        for i in range(25):
+            assert db.get(b"k%02d" % i) == b"v%02d" % i
+
+    def test_delete_masks_flushed_value(self):
+        db = DB(DBOptions(memtable_flush_entries=4))
+        db.put(b"k", b"v")
+        for i in range(6):  # force flush carrying b"k" into a table
+            db.put(b"fill%d" % i, b"x")
+        db.delete(b"k")
+        assert db.get(b"k") is None
+
+    def test_compaction_bounds_table_count(self):
+        options = DBOptions(memtable_flush_entries=4,
+                            max_tables_before_compaction=2)
+        db = DB(options)
+        for i in range(80):
+            db.put(b"k%03d" % i, b"v")
+        assert db.compactions >= 1
+        assert db.table_count <= 2
+        assert db.count() == 80
+
+    def test_scan_range_and_limit(self):
+        db = DB()
+        for i in range(10):
+            db.put(b"k%02d" % i, b"v%02d" % i)
+        rows = db.scan(b"k03", b"k07")
+        assert [k for k, _v in rows] == [b"k03", b"k04", b"k05", b"k06"]
+        assert len(db.scan(limit=3)) == 3
+
+    def test_scan_merges_memtable_over_tables(self):
+        db = DB(DBOptions(memtable_flush_entries=4))
+        for i in range(5):  # flush happens
+            db.put(b"k%d" % i, b"old")
+        db.put(b"k0", b"new")
+        rows = dict(db.scan())
+        assert rows[b"k0"] == b"new"
+
+    def test_lock_depth_tracks_mutex(self):
+        db = DB()
+        assert db.lock_depth == 0
+        db.put(b"k", b"v")  # acquires and releases
+        assert db.lock_depth == 0
+
+    def test_stats_shape(self):
+        db = DB()
+        db.put(b"k", b"v")
+        stats = db.stats()
+        assert stats["memtable_entries"] == 1
+        assert stats["sequence"] == 2
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_dict_model_through_flushes(self, ops):
+        db = DB(DBOptions(memtable_flush_entries=8,
+                          max_tables_before_compaction=2))
+        model = {}
+        for op, i in ops:
+            key = b"k%02d" % i
+            if op == "put":
+                db.put(key, b"v%02d" % i)
+                model[key] = b"v%02d" % i
+            else:
+                db.delete(key)
+                model.pop(key, None)
+        for i in range(31):
+            key = b"k%02d" % i
+            assert db.get(key) == model.get(key)
+        assert db.scan() == sorted(model.items())
+
+
+class TestCostModel:
+    def test_reference_sizes_match_paper(self):
+        model = LevelDBCostModel(15_000)
+        assert model.get_us() == pytest.approx(LEVELDB_GET_US)
+        assert model.scan_us() == pytest.approx(LEVELDB_SCAN_US)
+
+    def test_scan_scales_linearly(self):
+        small = LevelDBCostModel(1_500)
+        assert small.scan_us() == pytest.approx(LEVELDB_SCAN_US / 10)
+
+    def test_get_scales_logarithmically(self):
+        big = LevelDBCostModel(15_000 ** 2)
+        assert big.get_us() == pytest.approx(2 * LEVELDB_GET_US, rel=0.01)
+
+    def test_partial_scan(self):
+        model = LevelDBCostModel(15_000)
+        assert model.scan_us(0.5) == pytest.approx(LEVELDB_SCAN_US / 2)
+        with pytest.raises(ValueError):
+            model.scan_us(0.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            LevelDBCostModel().service_us("DROP")
+
+    def test_leveldb_workload_builder(self):
+        workload = leveldb_workload({"GET": 0.5, "SCAN": 0.5})
+        assert workload.class_probabilities() == {"GET": 0.5, "SCAN": 0.5}
+        assert workload.mean_us() == pytest.approx(
+            (LEVELDB_GET_US + LEVELDB_SCAN_US) / 2
+        )
+
+
+class TestLevelDBApp:
+    def make_app(self, num_keys=50):
+        app = LevelDBApp(num_keys=num_keys)
+        app.setup()
+        return app
+
+    def test_setup_populates_keys(self):
+        app = self.make_app(40)
+        assert app.db.count() == 40
+
+    def test_handle_get(self):
+        app = self.make_app()
+        response = app.handle_request({"op": "GET", "key": app.key_for(7)})
+        assert response["value"] == b"value-7"
+
+    def test_handle_put_delete_scan(self):
+        app = self.make_app(10)
+        app.handle_request({"op": "PUT", "key": b"zz", "value": b"new"})
+        assert app.db.get(b"zz") == b"new"
+        app.handle_request({"op": "DELETE", "key": b"zz"})
+        assert app.db.get(b"zz") is None
+        response = app.handle_request({"op": "SCAN"})
+        assert len(response["rows"]) == 10
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            self.make_app(1).handle_request({"op": "TRUNCATE"})
+
+    def test_safety_models_differ_in_scan_deferral(self):
+        from repro.hardware import CycleClock
+
+        clock = CycleClock()
+        rng = random.Random(0)
+        concord = concord_lock_counter_safety()
+        shinjuku = shinjuku_api_window_safety()
+        # SCANs: Concord never defers (lock-free snapshot); Shinjuku defers
+        # within an iterator segment.
+        assert all(
+            concord.defer_cycles("SCAN", clock, rng) == 0 for _ in range(100)
+        )
+        assert any(
+            shinjuku.defer_cycles("SCAN", clock, rng) > 0 for _ in range(100)
+        )
+
+
+class TestScanEdgeCases:
+    def test_inverted_range_is_empty(self):
+        db = DB()
+        db.put(b"a", b"1")
+        db.put(b"z", b"2")
+        assert db.scan(b"z", b"a") == []
+
+    def test_scan_excludes_end_key(self):
+        db = DB()
+        for key in (b"a", b"b", b"c"):
+            db.put(key, key)
+        assert [k for k, _v in db.scan(b"a", b"c")] == [b"a", b"b"]
+
+    def test_scan_limit_zero(self):
+        db = DB()
+        db.put(b"a", b"1")
+        assert db.scan(limit=0) == []
+
+    def test_scan_after_compaction_sees_latest(self):
+        options = DBOptions(memtable_flush_entries=4,
+                            max_tables_before_compaction=1)
+        db = DB(options)
+        for i in range(20):
+            db.put(b"k", b"v%02d" % i)
+            db.put(b"fill%02d" % i, b"x")
+        rows = dict(db.scan())
+        assert rows[b"k"] == b"v19"

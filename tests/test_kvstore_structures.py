@@ -1,0 +1,163 @@
+"""Unit + property tests for the skiplist, memtable, and sorted tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.memtable import MemTable, ValueKind
+from repro.kvstore.skiplist import SkipList
+from repro.kvstore.table import SortedTable
+
+
+class TestSkipList:
+    def test_insert_and_get(self):
+        sl = SkipList()
+        sl.insert(b"b", 2)
+        sl.insert(b"a", 1)
+        assert sl.get(b"a") == 1
+        assert sl.get(b"b") == 2
+        assert sl.get(b"c") is None
+        assert sl.get(b"c", default=-1) == -1
+
+    def test_overwrite_updates_in_place(self):
+        sl = SkipList()
+        sl.insert(b"k", 1)
+        sl.insert(b"k", 2)
+        assert sl.get(b"k") == 2
+        assert len(sl) == 1
+
+    def test_iteration_is_sorted(self):
+        sl = SkipList()
+        for key in (b"d", b"a", b"c", b"b"):
+            sl.insert(key, key)
+        assert [k for k, _v in sl] == [b"a", b"b", b"c", b"d"]
+
+    def test_iterate_from_midpoint(self):
+        sl = SkipList()
+        for i in range(10):
+            sl.insert(("k%02d" % i).encode(), i)
+        keys = [k for k, _v in sl.iterate_from(b"k05")]
+        assert keys[0] == b"k05"
+        assert len(keys) == 5
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(b"x", 1)
+        assert b"x" in sl
+        assert b"y" not in sl
+
+    def test_first_key(self):
+        sl = SkipList()
+        assert sl.first_key() is None
+        sl.insert(b"m", 1)
+        sl.insert(b"a", 1)
+        assert sl.first_key() == b"a"
+
+    @given(
+        keys=st.lists(st.binary(min_size=1, max_size=8), min_size=1,
+                      max_size=200)
+    )
+    @settings(max_examples=60)
+    def test_behaves_like_dict(self, keys):
+        sl = SkipList()
+        model = {}
+        for i, key in enumerate(keys):
+            sl.insert(key, i)
+            model[key] = i
+        assert len(sl) == len(model)
+        for key, expected in model.items():
+            assert sl.get(key) == expected
+        assert [k for k, _v in sl] == sorted(model)
+
+
+class TestMemTable:
+    def test_latest_version_wins(self):
+        mt = MemTable()
+        mt.add(1, ValueKind.VALUE, b"k", b"old")
+        mt.add(2, ValueKind.VALUE, b"k", b"new")
+        found, value = mt.get(b"k")
+        assert found and value == b"new"
+
+    def test_tombstone_masks_value(self):
+        mt = MemTable()
+        mt.add(1, ValueKind.VALUE, b"k", b"v")
+        mt.add(2, ValueKind.DELETION, b"k")
+        found, value = mt.get(b"k")
+        assert found and value is None
+
+    def test_missing_key(self):
+        mt = MemTable()
+        found, _value = mt.get(b"nope")
+        assert not found
+
+    def test_snapshot_read_at_sequence(self):
+        mt = MemTable()
+        mt.add(1, ValueKind.VALUE, b"k", b"v1")
+        mt.add(5, ValueKind.VALUE, b"k", b"v5")
+        found, value = mt.get(b"k", sequence=3)
+        assert found and value == b"v1"
+
+    def test_iter_latest_collapses_versions(self):
+        mt = MemTable()
+        mt.add(1, ValueKind.VALUE, b"a", b"1")
+        mt.add(2, ValueKind.VALUE, b"a", b"2")
+        mt.add(3, ValueKind.VALUE, b"b", b"3")
+        latest = list(mt.iter_latest())
+        assert latest == [
+            (b"a", ValueKind.VALUE, b"2"),
+            (b"b", ValueKind.VALUE, b"3"),
+        ]
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MemTable().add(1, 7, b"k", b"v")
+
+
+class TestSortedTable:
+    def test_from_memtable_and_get(self):
+        mt = MemTable()
+        mt.add(1, ValueKind.VALUE, b"a", b"1")
+        mt.add(2, ValueKind.DELETION, b"b")
+        table = SortedTable.from_memtable(mt)
+        assert table.get(b"a") == (True, b"1")
+        assert table.get(b"b") == (True, None)  # tombstone retained
+        assert table.get(b"c") == (False, None)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SortedTable([(b"b", ValueKind.VALUE, b"1"),
+                         (b"a", ValueKind.VALUE, b"2")])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SortedTable([(b"a", ValueKind.VALUE, b"1"),
+                         (b"a", ValueKind.VALUE, b"2")])
+
+    def test_iterate_from(self):
+        table = SortedTable([
+            (b"a", ValueKind.VALUE, b"1"),
+            (b"c", ValueKind.VALUE, b"3"),
+            (b"e", ValueKind.VALUE, b"5"),
+        ])
+        assert [k for k, _kd, _v in table.iterate_from(b"b")] == [b"c", b"e"]
+
+    def test_key_range(self):
+        table = SortedTable([(b"a", ValueKind.VALUE, b"1"),
+                             (b"z", ValueKind.VALUE, b"2")])
+        assert table.key_range() == (b"a", b"z")
+        assert SortedTable([]).key_range() == (None, None)
+
+    def test_merge_drops_tombstones_and_shadowed(self):
+        newer = SortedTable([
+            (b"a", ValueKind.DELETION, None),
+            (b"b", ValueKind.VALUE, b"new"),
+        ])
+        older = SortedTable([
+            (b"a", ValueKind.VALUE, b"stale"),
+            (b"b", ValueKind.VALUE, b"old"),
+            (b"c", ValueKind.VALUE, b"keep"),
+        ])
+        merged = SortedTable.merge([newer, older])
+        assert merged.get(b"a") == (False, None)  # tombstone dropped entirely
+        assert merged.get(b"b") == (True, b"new")
+        assert merged.get(b"c") == (True, b"keep")

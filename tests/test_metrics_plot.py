@@ -1,0 +1,68 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.plotting import result_chart
+from repro.metrics.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_plot(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+            width=20, height=6, title="demo",
+        )
+        assert "demo" in chart
+        assert "o a" in chart
+        assert "x b" in chart
+        assert "o" in chart.splitlines()[2] + chart.splitlines()[-4]
+
+    def test_log_scale_compresses_explosions(self):
+        chart = ascii_plot(
+            {"tail": [(0, 1), (1, 10), (2, 10000)]}, log_y=True,
+            width=12, height=5,
+        )
+        assert "10^" in chart
+
+    def test_single_point_does_not_crash(self):
+        chart = ascii_plot({"p": [(5, 5)]}, width=10, height=4)
+        assert "o p" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+
+
+class TestResultChart:
+    def test_numeric_table_charts(self):
+        result = ExperimentResult(
+            "figX", "demo", headers=["load", "sysA", "sysB"],
+            rows=[[1, 2.0, 3.0], [2, 4.0, 2.0]],
+        )
+        chart = result_chart(result)
+        assert chart is not None
+        assert "sysA" in chart and "sysB" in chart
+
+    def test_non_numeric_rows_skipped(self):
+        result = ExperimentResult(
+            "table1", "demo", headers=["program", "overhead"],
+            rows=[["radix", 1.0]],
+        )
+        assert result_chart(result) is None
+
+    def test_string_columns_excluded(self):
+        result = ExperimentResult(
+            "figY", "demo", headers=["x", "name", "value"],
+            rows=[[1, "a", 2.0], [2, "b", 3.0]],
+        )
+        chart = result_chart(result)
+        assert chart is not None
+        assert "value" in chart
+        assert " name" not in chart.splitlines()[-1]
+
+    def test_empty_result(self):
+        result = ExperimentResult("z", "demo", headers=["x"], rows=[])
+        assert result_chart(result) is None

@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(30, lambda: order.append("c"))
+    sim.at(10, lambda: order.append("a"))
+    sim.at(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.at(5, lambda l=label: order.append(l))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_after_schedules_relative_to_now():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.after(7, lambda: seen.append(sim.now))
+
+    sim.at(3, first)
+    sim.run()
+    assert seen == [10]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.at(5, lambda: fired.append(1))
+    sim.at(1, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.at(5, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert event.cancelled
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.at(10, lambda: fired.append(10))
+    sim.at(100, lambda: fired.append(100))
+    sim.run(until=50)
+    assert fired == [10]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [10, 100]
+
+
+def test_run_max_events_bounds_execution():
+    sim = Simulator()
+    count = []
+    for t in range(1, 11):
+        sim.at(t, lambda: count.append(1))
+    executed = sim.run(max_events=4)
+    assert executed == 4
+    assert len(count) == 4
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.after(1, lambda: chain(n + 1))
+
+    sim.at(0, lambda: chain(1))
+    sim.run()
+    assert seen == [1, 2, 3, 4, 5]
+
+
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    keep = sim.at(10, lambda: None)
+    drop = sim.at(20, lambda: None)
+    drop.cancel()
+    assert sim.pending == 1
+    assert keep.time == 10
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.at(5, lambda: None)
+    sim.at(9, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_zero_delay_event_runs_after_current_callback():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        sim.after(0, lambda: order.append("inner"))
+        order.append("outer")
+
+    sim.at(1, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+
+
+def test_trace_hook_sees_each_event():
+    seen = []
+    sim = Simulator(trace=lambda t, name: seen.append((t, name)))
+    sim.at(4, lambda: None, name="x")
+    sim.at(6, lambda: None, name="y")
+    sim.run()
+    assert seen == [(4, "x"), (6, "y")]
+
+
+def test_events_run_counter():
+    sim = Simulator()
+    for t in range(1, 6):
+        sim.at(t, lambda: None)
+    sim.run()
+    assert sim.events_run == 5
+
+
+class TestAgent:
+    """The serial-resource helper used to model pinned threads."""
+
+    def test_busy_for_serializes_work(self):
+        from repro.sim.process import Agent
+
+        sim = Simulator()
+        agent = Agent(sim, "thread")
+        first_end = agent.busy_for(100)
+        second_end = agent.busy_for(50)
+        assert first_end == 100
+        assert second_end == 150  # queued behind the first operation
+        assert agent.busy_cycles == 150
+
+    def test_when_free_and_is_busy(self):
+        from repro.sim.process import Agent
+
+        sim = Simulator()
+        agent = Agent(sim, "thread")
+        assert not agent.is_busy
+        agent.busy_for(10)
+        assert agent.is_busy
+        assert agent.when_free() == 10
+
+    def test_start_floor_and_utilization(self):
+        from repro.sim.process import Agent
+
+        sim = Simulator()
+        agent = Agent(sim, "thread")
+        end = agent.busy_for(10, start=40)
+        assert end == 50
+        assert agent.utilization(100) == 0.1
+        assert agent.utilization(0) == 0.0
+
+    def test_negative_busy_rejected(self):
+        import pytest as _pytest
+
+        from repro.sim.process import Agent
+
+        with _pytest.raises(ValueError):
+            Agent(Simulator(), "t").busy_for(-1)

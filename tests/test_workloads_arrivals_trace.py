@@ -1,0 +1,116 @@
+"""Tests for arrival processes and trace record/replay."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ClosedLoopProcess,
+    DeterministicProcess,
+    PoissonProcess,
+    Trace,
+    TraceRecord,
+    bimodal_50_1_50_100,
+)
+
+
+class TestPoissonProcess:
+    def test_mean_gap_matches_rate(self):
+        process = PoissonProcess(100_000)  # 10us mean gap
+        r = random.Random(0)
+        gaps = [process.next_gap_us(r) for _ in range(20000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(10.0, rel=0.05)
+
+    def test_rate_property(self):
+        assert PoissonProcess(5000).rate_rps == 5000
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0)
+
+
+class TestDeterministicProcess:
+    def test_constant_gap(self):
+        process = DeterministicProcess(1_000_000)
+        r = random.Random(0)
+        assert process.next_gap_us(r) == 1.0
+        assert process.next_gap_us(r) == 1.0
+
+
+class TestClosedLoopProcess:
+    def test_zero_gap(self):
+        process = ClosedLoopProcess(in_flight=4)
+        assert process.next_gap_us(random.Random(0)) == 0.0
+        assert process.in_flight == 4
+        assert process.rate_rps == float("inf")
+
+    def test_rejects_zero_in_flight(self):
+        with pytest.raises(ValueError):
+            ClosedLoopProcess(0)
+
+
+class TestTrace:
+    def test_sample_produces_sorted_arrivals(self):
+        trace = Trace.sample(
+            bimodal_50_1_50_100(), PoissonProcess(100_000), 500, random.Random(1)
+        )
+        arrivals = [r.arrival_us for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert len(trace) == 500
+
+    def test_offered_load_close_to_requested(self):
+        trace = Trace.sample(
+            bimodal_50_1_50_100(), PoissonProcess(200_000), 5000, random.Random(2)
+        )
+        assert trace.offered_load_rps() == pytest.approx(200_000, rel=0.1)
+
+    def test_kinds_and_mean_service(self):
+        trace = Trace.sample(
+            bimodal_50_1_50_100(), PoissonProcess(100_000), 2000, random.Random(3)
+        )
+        assert trace.kinds() == {"short", "long"}
+        assert trace.mean_service_us() == pytest.approx(50.5, rel=0.1)
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = Trace.sample(
+            bimodal_50_1_50_100(), PoissonProcess(100_000), 100, random.Random(4)
+        )
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a.kind == b.kind
+            assert a.arrival_us == pytest.approx(b.arrival_us, abs=1e-5)
+            assert a.service_us == pytest.approx(b.service_us, abs=1e-5)
+
+    def test_csv_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope,nope\n1,2,3\n")
+        with pytest.raises(ValueError):
+            Trace.load_csv(path)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1.0, "x", 1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, "x", 0.0)
+
+    def test_empty_trace_stats(self):
+        trace = Trace()
+        assert trace.duration_us() == 0.0
+        assert trace.offered_load_rps() == 0.0
+        assert trace.mean_service_us() == 0.0
+
+
+@given(
+    rate=st.floats(min_value=1000.0, max_value=5_000_000.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50)
+def test_poisson_gaps_are_nonnegative(rate, seed):
+    process = PoissonProcess(rate)
+    r = random.Random(seed)
+    assert all(process.next_gap_us(r) >= 0.0 for _ in range(50))

@@ -1,0 +1,172 @@
+"""Unit + property tests for service-time distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    ClassMix,
+    Exponential,
+    Fixed,
+    Lognormal,
+    RequestClass,
+    Uniform,
+    bimodal,
+)
+
+
+def rng(seed=0):
+    return random.Random(seed)
+
+
+class TestFixed:
+    def test_always_returns_service_time(self):
+        dist = Fixed(3.5)
+        assert all(dist.sample_us(rng()) == 3.5 for _ in range(10))
+        assert dist.mean_us() == 3.5
+        assert dist.squared_coefficient_of_variation() == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Fixed(0)
+
+    def test_sample_class_uses_name(self):
+        kind, value = Fixed(2.0, name="spin").sample_class(rng())
+        assert kind == "spin"
+        assert value == 2.0
+
+
+class TestExponential:
+    def test_empirical_mean(self):
+        dist = Exponential(10.0)
+        r = rng(1)
+        samples = [dist.sample_us(r) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_scv_is_one(self):
+        assert Exponential(5.0).squared_coefficient_of_variation() == 1.0
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(-1)
+
+
+class TestUniform:
+    def test_bounds_and_mean(self):
+        dist = Uniform(1.0, 3.0)
+        r = rng(2)
+        samples = [dist.sample_us(r) for _ in range(5000)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert dist.mean_us() == 2.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(0.0, 1.0)
+
+
+class TestLognormal:
+    def test_mean_parameterization(self):
+        dist = Lognormal(20.0, sigma=1.0)
+        r = rng(3)
+        samples = [dist.sample_us(r) for _ in range(60000)]
+        assert sum(samples) / len(samples) == pytest.approx(20.0, rel=0.1)
+
+    def test_scv_closed_form(self):
+        import math
+
+        dist = Lognormal(5.0, sigma=0.5)
+        assert dist.squared_coefficient_of_variation() == pytest.approx(
+            math.exp(0.25) - 1.0
+        )
+
+
+class TestClassMix:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ClassMix([RequestClass("a", 0.5, Fixed(1.0))])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            ClassMix([])
+
+    def test_mean_is_weighted(self):
+        mix = bimodal(50, 1.0, 50, 100.0)
+        assert mix.mean_us() == pytest.approx(50.5)
+
+    def test_empirical_class_frequencies(self):
+        mix = bimodal(99.5, 0.5, 0.5, 500.0)
+        r = rng(4)
+        kinds = [mix.sample_class(r)[0] for _ in range(40000)]
+        long_frac = kinds.count("long") / len(kinds)
+        assert long_frac == pytest.approx(0.005, abs=0.002)
+
+    def test_dispersion_ratio(self):
+        assert bimodal(50, 1.0, 50, 100.0).dispersion_ratio() == pytest.approx(100.0)
+
+    def test_class_probabilities_mapping(self):
+        mix = bimodal(50, 1.0, 50, 100.0)
+        assert mix.class_probabilities() == {"short": 0.5, "long": 0.5}
+
+    def test_bimodal_rejects_bad_percentages(self):
+        with pytest.raises(ValueError):
+            bimodal(60, 1.0, 50, 100.0)
+
+    def test_requestclass_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RequestClass("a", 0.0, Fixed(1.0))
+        with pytest.raises(ValueError):
+            RequestClass("a", 1.5, Fixed(1.0))
+
+
+# -- property-based tests --------------------------------------------------------
+
+
+@given(
+    mean=st.floats(min_value=0.01, max_value=1000.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60)
+def test_exponential_samples_are_positive(mean, seed):
+    dist = Exponential(mean)
+    r = random.Random(seed)
+    assert all(dist.sample_us(r) >= 0.0 for _ in range(20))
+
+
+@given(
+    short=st.floats(min_value=0.1, max_value=10.0),
+    long=st.floats(min_value=10.0, max_value=1000.0),
+    short_pct=st.floats(min_value=1.0, max_value=99.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60)
+def test_bimodal_samples_come_from_the_two_modes(short, long, short_pct, seed):
+    mix = bimodal(short_pct, short, 100.0 - short_pct, long)
+    r = random.Random(seed)
+    for _ in range(30):
+        kind, value = mix.sample_class(r)
+        assert (kind, value) in {("short", short), ("long", long)}
+
+
+@given(
+    probs=st.lists(
+        st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=6
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60)
+def test_classmix_mean_between_extremes(probs, seed):
+    total = sum(probs)
+    classes = [
+        RequestClass("k{}".format(i), p / total, Fixed(float(i + 1)))
+        for i, p in enumerate(probs)
+    ]
+    mix = ClassMix(classes)
+    means = [c.distribution.mean_us() for c in classes]
+    assert min(means) <= mix.mean_us() <= max(means)
+    r = random.Random(seed)
+    kind, value = mix.sample_class(r)
+    assert kind in {c.kind for c in classes}

@@ -1,0 +1,79 @@
+"""Tests for the paper's named workloads (section 5.1-5.3)."""
+
+import random
+
+import pytest
+
+from repro.workloads import named
+
+
+def test_registry_contains_all_paper_workloads():
+    assert set(named.NAMED_WORKLOADS) == {
+        "bimodal-50-1-50-100",
+        "bimodal-995-05-500",
+        "fixed-1",
+        "tpcc",
+        "leveldb-5050",
+        "leveldb-zippydb",
+    }
+
+
+def test_workload_by_name_roundtrip():
+    workload = named.workload_by_name("tpcc")
+    assert workload.name == "TPCC"
+
+
+def test_workload_by_name_unknown_raises():
+    with pytest.raises(KeyError):
+        named.workload_by_name("nope")
+
+
+def test_bimodal_50_1_50_100_shape():
+    mix = named.bimodal_50_1_50_100()
+    probs = mix.class_probabilities()
+    assert probs == {"short": 0.5, "long": 0.5}
+    assert mix.mean_us() == pytest.approx(50.5)
+
+
+def test_bimodal_995_05_500_shape():
+    mix = named.bimodal_995_05_500()
+    assert mix.class_probabilities()["long"] == pytest.approx(0.005)
+    assert mix.mean_us() == pytest.approx(0.995 * 0.5 + 0.005 * 500.0)
+    assert mix.dispersion_ratio() == pytest.approx(1000.0)
+
+
+def test_fixed_1us_is_degenerate():
+    mix = named.fixed_1us()
+    r = random.Random(0)
+    assert mix.sample_us(r) == 1.0
+    assert mix.mean_us() == 1.0
+
+
+def test_tpcc_transaction_mix_matches_paper():
+    mix = named.tpcc()
+    probs = mix.class_probabilities()
+    assert probs["Payment"] == pytest.approx(0.44)
+    assert probs["NewOrder"] == pytest.approx(0.44)
+    assert probs["OrderStatus"] == pytest.approx(0.04)
+    assert probs["Delivery"] == pytest.approx(0.04)
+    assert probs["StockLevel"] == pytest.approx(0.04)
+    # Mean: .44*5.7 + .04*6 + .44*20 + .04*88 + .04*100
+    assert mix.mean_us() == pytest.approx(19.07, abs=0.01)
+
+
+def test_leveldb_5050_service_times():
+    mix = named.leveldb_50get_50scan()
+    r = random.Random(1)
+    seen = {mix.sample_class(r) for _ in range(200)}
+    assert ("GET", named.LEVELDB_GET_US) in seen
+    assert ("SCAN", named.LEVELDB_SCAN_US) in seen
+    # GET 600ns vs SCAN 500us: the 1000x dispersion section 5.3 highlights.
+    assert mix.dispersion_ratio() == pytest.approx(1000.0 / 1.2, rel=0.01)
+
+
+def test_zippydb_mix_matches_meta_traces():
+    mix = named.leveldb_zippydb()
+    probs = mix.class_probabilities()
+    assert probs == pytest.approx(
+        {"GET": 0.78, "PUT": 0.13, "DELETE": 0.06, "SCAN": 0.03}
+    )
