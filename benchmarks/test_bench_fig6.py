@@ -1,6 +1,6 @@
 """Benchmark: regenerate Fig. 6 (Bimodal(50:1,50:100) slowdown vs load)."""
 
-from conftest import assert_summary, run_once
+from conftest import run_once
 
 
 def test_fig6(benchmark, quality):

@@ -10,7 +10,7 @@ dispatcher work stealing and sweeps load until each variant violates the
 Run:  python examples/small_vm_dispatcher.py
 """
 
-from repro.core import Server, concord, concord_no_steal
+from repro.core import concord, concord_no_steal
 from repro.hardware import cloud_vm_4core
 from repro.kvstore import concord_lock_counter_safety
 from repro.metrics import format_table, knee_load

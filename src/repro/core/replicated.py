@@ -14,7 +14,7 @@ work stealing — works unchanged inside its partition.
 """
 
 from repro.core.server import Server
-from repro.workloads.trace import Trace, TraceRecord
+from repro.workloads.trace import Trace
 
 __all__ = ["ReplicatedServer", "ReplicatedResult"]
 

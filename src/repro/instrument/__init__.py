@@ -18,7 +18,9 @@ This package reproduces that pipeline on a small typed IR:
   :class:`InstrumentationProfile` (overhead fraction, probe-gap distribution,
   preemption-timeliness sigma) that plugs into the scheduler simulation;
 * :mod:`repro.instrument.kernels` — 24 benchmark kernels standing in for the
-  Splash-2 / Phoenix / Parsec programs of Table 1.
+  Splash-2 / Phoenix / Parsec programs of Table 1;
+* :mod:`repro.instrument.analysis` — static analyses: a dataflow framework,
+  an IR linter, and the probe-gap certifier behind ``repro-lint``.
 """
 
 from repro.instrument.ir import (
@@ -45,6 +47,14 @@ from repro.instrument.optim import (
 )
 from repro.instrument.interp import ExecutionResult, Interpreter
 from repro.instrument.profile import InstrumentationProfile, profile_kernel
+from repro.instrument.analysis import (
+    CertificationError,
+    GapCertificate,
+    LintFinding,
+    certify_module,
+    lint_function,
+    lint_module,
+)
 
 __all__ = [
     "BasicBlock",
@@ -67,4 +77,10 @@ __all__ = [
     "Interpreter",
     "InstrumentationProfile",
     "profile_kernel",
+    "CertificationError",
+    "GapCertificate",
+    "LintFinding",
+    "certify_module",
+    "lint_function",
+    "lint_module",
 ]

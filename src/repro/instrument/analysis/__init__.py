@@ -1,0 +1,71 @@
+"""Static analyses over the instrumentation IR.
+
+Three layers, each building on the one below:
+
+* :mod:`~repro.instrument.analysis.dataflow` — a generic iterative
+  dataflow framework plus reaching-definitions, liveness, and
+  reachability clients;
+* :mod:`~repro.instrument.analysis.lint` — an IR linter (use-before-def,
+  unreachable blocks, dead stores, probe/ext_call attribute sanity,
+  probe-placement rules);
+* :mod:`~repro.instrument.analysis.probegap` — the probe-gap certifier:
+  a WCET-style interprocedural bound on the cycles any path can run
+  between two firing probes, with witness paths for violations.
+
+The ``repro-lint`` console script (:mod:`repro.instrument.analysis.cli`)
+drives the linter and certifier over the kernel registry.
+"""
+
+from repro.instrument.analysis.dataflow import (
+    AnalysisError,
+    DataflowAnalysis,
+    DataflowResult,
+    Definition,
+    Liveness,
+    ReachableBlocks,
+    ReachingDefinitions,
+    instr_defs,
+    instr_uses,
+    terminator_uses,
+)
+from repro.instrument.analysis.lint import (
+    ERROR,
+    WARNING,
+    LintFinding,
+    lint_function,
+    lint_module,
+)
+from repro.instrument.analysis.probegap import (
+    INFINITE,
+    CertificationError,
+    GapCertificate,
+    PathSummary,
+    analyze_function,
+    analyze_module,
+    certify_module,
+)
+
+__all__ = [
+    "AnalysisError",
+    "CertificationError",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "Definition",
+    "ERROR",
+    "GapCertificate",
+    "INFINITE",
+    "LintFinding",
+    "Liveness",
+    "PathSummary",
+    "ReachableBlocks",
+    "ReachingDefinitions",
+    "WARNING",
+    "analyze_function",
+    "analyze_module",
+    "certify_module",
+    "instr_defs",
+    "instr_uses",
+    "lint_function",
+    "lint_module",
+    "terminator_uses",
+]

@@ -1,0 +1,360 @@
+"""A generic iterative dataflow framework over the instrumentation CFG.
+
+Analyses subclass :class:`DataflowAnalysis`, pick a direction, and supply
+the lattice (``initial`` / ``boundary`` values, a ``join``) plus a
+per-block ``transfer`` function; :meth:`DataflowAnalysis.run` iterates a
+worklist to the fixed point.  Three classic clients ship with the
+framework and back the IR linter and the strengthened verifier:
+
+* :class:`ReachingDefinitions` — which definition sites may reach each
+  block (union join); powers the real use-before-def check.
+* :class:`Liveness` — which registers are live at block boundaries
+  (backward, union join); powers the dead-store lint.
+* :class:`ReachableBlocks` — which blocks any entry path reaches
+  (forward, boolean or-join); powers the unreachable-code lint.
+
+The probe-gap certifier (:mod:`repro.instrument.analysis.probegap`)
+shares this module's use/def helpers and block orderings.
+"""
+
+from repro.instrument.cfg import ControlFlowGraph
+
+__all__ = [
+    "AnalysisError",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "Definition",
+    "Liveness",
+    "ReachableBlocks",
+    "ReachingDefinitions",
+    "instr_defs",
+    "instr_uses",
+    "terminator_uses",
+]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+#: Synthetic definition site for function parameters.
+PARAM_SITE = "<params>"
+
+#: Fixed-point iteration cap: lattices here have finite height, so this
+#: only trips on a broken transfer function (non-monotone).
+MAX_PASSES = 1000
+
+
+class AnalysisError(RuntimeError):
+    """A dataflow analysis failed to converge or was misconfigured."""
+
+
+# -- use/def helpers ---------------------------------------------------------------
+
+
+def instr_defs(instr):
+    """Registers written by ``instr`` (empty for stores and probes)."""
+    return (instr.dst,) if instr.dst is not None else ()
+
+
+def instr_uses(instr):
+    """Registers read by ``instr`` (callee names are not registers)."""
+    args = instr.args
+    if instr.op in ("call", "ext_call"):
+        args = args[1:]
+    return tuple(a for a in args if isinstance(a, str))
+
+
+def terminator_uses(terminator):
+    """Registers read by a terminator (branch targets are labels, not
+    registers; only ``br`` conditions and ``ret`` values count)."""
+    if terminator.op == "br":
+        cond = terminator.args[0]
+        return (cond,) if isinstance(cond, str) else ()
+    if terminator.op == "ret":
+        return tuple(a for a in terminator.args if isinstance(a, str))
+    return ()
+
+
+# -- the framework -----------------------------------------------------------------
+
+
+class DataflowResult:
+    """Fixed-point values per block.
+
+    ``entry[label]`` is the value at the block's entry in *program* order
+    and ``exit[label]`` the value at its exit — for a backward analysis
+    the flow runs exit -> entry, but the naming stays programmatic so
+    clients read results without direction gymnastics.
+    """
+
+    def __init__(self, entry, exit, passes):
+        self.entry = entry
+        self.exit = exit
+        self.passes = passes
+
+    def __repr__(self):
+        return "DataflowResult({} blocks, {} passes)".format(
+            len(self.entry), self.passes
+        )
+
+
+class DataflowAnalysis:
+    """Base class for iterative dataflow analyses over a Function.
+
+    Subclasses set :attr:`DIRECTION` and implement:
+
+    * ``initial(function)`` — the optimistic interior value;
+    * ``boundary(function)`` — the value at the CFG boundary (function
+      entry for forward analyses, every ``ret`` block for backward ones);
+    * ``join(values)`` — combine a non-empty list of flow values;
+    * ``transfer(function, label, value)`` — push one value through one
+      block, in the direction of the analysis.
+
+    Values must be comparable with ``==`` and treated as immutable.
+    """
+
+    DIRECTION = FORWARD
+
+    def initial(self, function):
+        raise NotImplementedError
+
+    def boundary(self, function):
+        raise NotImplementedError
+
+    def join(self, values):
+        raise NotImplementedError
+
+    def transfer(self, function, label, value):
+        raise NotImplementedError
+
+    # -- driver ------------------------------------------------------------------
+
+    def run(self, function, cfg=None):
+        """Iterate to the fixed point; returns a :class:`DataflowResult`."""
+        cfg = cfg or ControlFlowGraph(function)
+        forward = self.DIRECTION == FORWARD
+        if not forward and self.DIRECTION != BACKWARD:
+            raise AnalysisError(
+                "unknown direction {!r}".format(self.DIRECTION)
+            )
+        labels = list(function.block_order)
+        if not forward:
+            labels = list(reversed(labels))
+
+        if forward:
+            flow_preds = cfg.predecessors
+            is_boundary = {function.entry}
+        else:
+            flow_preds = cfg.successors
+            is_boundary = {
+                label
+                for label, block in function.blocks.items()
+                if block.terminator is not None
+                and block.terminator.op == "ret"
+            }
+
+        boundary_value = self.boundary(function)
+        initial_value = self.initial(function)
+        in_value = {}
+        out_value = {}
+        for label in labels:
+            in_value[label] = (
+                boundary_value if label in is_boundary else initial_value
+            )
+            out_value[label] = self.transfer(function, label, in_value[label])
+
+        passes = 0
+        changed = True
+        while changed:
+            passes += 1
+            if passes > MAX_PASSES:
+                raise AnalysisError(
+                    "no fixed point after {} passes over {!r}".format(
+                        MAX_PASSES, function.name
+                    )
+                )
+            changed = False
+            for label in labels:
+                incoming = [out_value[p] for p in flow_preds[label]]
+                if label in is_boundary:
+                    incoming.append(boundary_value)
+                if not incoming:
+                    continue
+                new_in = self.join(incoming)
+                if new_in == in_value[label]:
+                    continue
+                in_value[label] = new_in
+                out_value[label] = self.transfer(function, label, new_in)
+                changed = True
+
+        if forward:
+            return DataflowResult(in_value, out_value, passes)
+        return DataflowResult(out_value, in_value, passes)
+
+
+# -- reaching definitions ----------------------------------------------------------
+
+
+class Definition(tuple):
+    """A definition site ``(register, block_label, instr_index)``.
+
+    Parameters are modelled as definitions at the synthetic site
+    ``(register, PARAM_SITE, position)``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, register, label, index):
+        return tuple.__new__(cls, (register, label, index))
+
+    @property
+    def register(self):
+        return self[0]
+
+    @property
+    def label(self):
+        return self[1]
+
+    @property
+    def index(self):
+        return self[2]
+
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Which definition sites may reach each block (forward, may)."""
+
+    DIRECTION = FORWARD
+
+    def initial(self, function):
+        return frozenset()
+
+    def boundary(self, function):
+        return frozenset(
+            Definition(register, PARAM_SITE, position)
+            for position, register in enumerate(function.params)
+        )
+
+    def join(self, values):
+        return frozenset().union(*values)
+
+    def transfer(self, function, label, value):
+        live = {d for d in value}
+        for index, instr in enumerate(function.block(label).instrs):
+            for register in instr_defs(instr):
+                live = {d for d in live if d.register != register}
+                live.add(Definition(register, label, index))
+        return frozenset(live)
+
+    # -- clients -----------------------------------------------------------------
+
+    def undefined_uses(self, function, cfg=None):
+        """Uses of registers with *no* reaching definition on any path.
+
+        Returns ``(label, index_or_None, register)`` triples; ``index`` is
+        None for terminator uses.  Only blocks reachable from the entry
+        are checked (unreachable code is the linter's concern).
+        """
+        cfg = cfg or ControlFlowGraph(function)
+        result = self.run(function, cfg)
+        reachable = cfg.reachable()
+        undefined = []
+        for label in function.block_order:
+            if label not in reachable:
+                continue
+            block = function.block(label)
+            known = {d.register for d in result.entry[label]}
+            for index, instr in enumerate(block.instrs):
+                for register in instr_uses(instr):
+                    if register not in known:
+                        undefined.append((label, index, register))
+                known.update(instr_defs(instr))
+            for register in terminator_uses(block.terminator):
+                if register not in known:
+                    undefined.append((label, None, register))
+        return undefined
+
+
+# -- liveness ----------------------------------------------------------------------
+
+
+class Liveness(DataflowAnalysis):
+    """Which registers are live at block boundaries (backward, may)."""
+
+    DIRECTION = BACKWARD
+
+    def initial(self, function):
+        return frozenset()
+
+    def boundary(self, function):
+        return frozenset()
+
+    def join(self, values):
+        return frozenset().union(*values)
+
+    def transfer(self, function, label, value):
+        block = function.block(label)
+        live = set(value)
+        if block.terminator is not None:
+            live.update(terminator_uses(block.terminator))
+        for instr in reversed(block.instrs):
+            live.difference_update(instr_defs(instr))
+            live.update(instr_uses(instr))
+        return frozenset(live)
+
+    # -- clients -----------------------------------------------------------------
+
+    def dead_definitions(self, function, cfg=None, pure_ops=None):
+        """Definitions whose value no path ever reads (flow-sensitive).
+
+        ``pure_ops`` restricts reporting to side-effect-free opcodes (the
+        only ones a compiler could delete); defaults to every opcode with
+        a destination except calls.  Returns ``(label, index, register)``.
+        """
+        cfg = cfg or ControlFlowGraph(function)
+        result = self.run(function, cfg)
+        dead = []
+        for label in function.block_order:
+            block = function.block(label)
+            live = set(result.exit[label])
+            if block.terminator is not None:
+                live.update(terminator_uses(block.terminator))
+            trailing = []
+            for index in range(len(block.instrs) - 1, -1, -1):
+                instr = block.instrs[index]
+                if instr.dst is not None and instr.dst not in live:
+                    if pure_ops is None or instr.op in pure_ops:
+                        trailing.append((label, index, instr.dst))
+                live.difference_update(instr_defs(instr))
+                live.update(instr_uses(instr))
+            dead.extend(reversed(trailing))
+        return dead
+
+
+# -- reachability ------------------------------------------------------------------
+
+
+class ReachableBlocks(DataflowAnalysis):
+    """Whether any path from the entry reaches each block (forward, or)."""
+
+    DIRECTION = FORWARD
+
+    def initial(self, function):
+        return False
+
+    def boundary(self, function):
+        return True
+
+    def join(self, values):
+        return any(values)
+
+    def transfer(self, function, label, value):
+        return value
+
+    def unreachable(self, function, cfg=None):
+        """Labels no entry path reaches, in block order."""
+        cfg = cfg or ControlFlowGraph(function)
+        result = self.run(function, cfg)
+        return [
+            label
+            for label in function.block_order
+            if not result.entry[label]
+        ]

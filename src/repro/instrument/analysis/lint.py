@@ -1,0 +1,191 @@
+"""An IR linter built on the dataflow framework.
+
+Checks fall into two tiers.  *Errors* are violations of invariants the
+interpreter or the instrumentation contract relies on: uses of registers
+no path ever defines, ``ext_call`` sites without a sane cycle cost,
+malformed probe attributes, and — for instrumented code — probes missing
+from the places section 4.3 mandates (function entry, loop latches).
+*Warnings* are code-quality findings a real compiler would clean up:
+unreachable blocks and dead stores.
+
+``repro-lint`` (see :mod:`repro.instrument.analysis.cli`) runs these
+checks plus the probe-gap certifier over the kernel registry.
+"""
+
+from dataclasses import dataclass
+
+from repro.instrument.cfg import ControlFlowGraph
+from repro.instrument.analysis.dataflow import (
+    Liveness,
+    ReachableBlocks,
+    ReachingDefinitions,
+)
+
+__all__ = ["ERROR", "WARNING", "LintFinding", "lint_function", "lint_module"]
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Opcodes a compiler could delete when their result is dead (mirrors
+#: the DCE pass's notion of purity; probes/calls/stores never qualify).
+_DELETABLE_OPS = {
+    "li", "mov", "add", "sub", "mul", "div", "and", "or", "xor", "shl",
+    "shr", "fadd", "fsub", "fmul", "fdiv", "cmp_lt", "cmp_le", "cmp_eq",
+    "cmp_ne", "load",
+}
+
+_PROBE_STYLES = {"cacheline", "rdtsc"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter diagnostic, attributable to a block in a function."""
+
+    check: str
+    severity: str
+    function: str
+    block: str
+    message: str
+
+    def __str__(self):
+        return "{}: {}.{}: {} [{}]".format(
+            self.severity, self.function, self.block, self.message,
+            self.check,
+        )
+
+
+def _check_use_before_def(function, cfg, findings):
+    for label, index, register in ReachingDefinitions().undefined_uses(
+        function, cfg
+    ):
+        where = (
+            "terminator" if index is None
+            else "instruction {}".format(index)
+        )
+        findings.append(LintFinding(
+            "use-before-def", ERROR, function.name, label,
+            "register {!r} read at {} but never defined on any "
+            "path".format(register, where),
+        ))
+
+
+def _check_unreachable(function, cfg, findings):
+    for label in ReachableBlocks().unreachable(function, cfg):
+        findings.append(LintFinding(
+            "unreachable-block", WARNING, function.name, label,
+            "no path from entry reaches this block",
+        ))
+
+
+def _check_dead_stores(function, cfg, findings):
+    for label, index, register in Liveness().dead_definitions(
+        function, cfg, pure_ops=_DELETABLE_OPS
+    ):
+        instr = function.block(label).instrs[index]
+        findings.append(LintFinding(
+            "dead-store", WARNING, function.name, label,
+            "{} to {!r} at instruction {} is never read".format(
+                instr.op, register, index
+            ),
+        ))
+
+
+def _check_ext_call_costs(function, findings):
+    for block in function.iter_blocks():
+        for index, instr in enumerate(block.instrs):
+            if not instr.is_ext_call:
+                continue
+            cost = instr.attrs.get("cost")
+            if cost is None:
+                findings.append(LintFinding(
+                    "ext-call-cost", ERROR, function.name, block.label,
+                    "ext_call {!r} at instruction {} carries no "
+                    "cost".format(instr.args[0], index),
+                ))
+            elif not isinstance(cost, (int, float)) or isinstance(
+                cost, bool
+            ) or cost < 0:
+                findings.append(LintFinding(
+                    "ext-call-cost", ERROR, function.name, block.label,
+                    "ext_call {!r} at instruction {} has invalid cost "
+                    "{!r}".format(instr.args[0], index, cost),
+                ))
+
+
+def _check_probe_attrs(function, findings):
+    for block in function.iter_blocks():
+        for index, instr in enumerate(block.instrs):
+            if not instr.is_probe:
+                continue
+            attrs = instr.attrs
+            problems = []
+            style = attrs.get("style")
+            if style not in _PROBE_STYLES:
+                problems.append("unknown style {!r}".format(style))
+            period = attrs.get("period", 1)
+            if not isinstance(period, int) or period < 1:
+                problems.append("invalid period {!r}".format(period))
+            cost = attrs.get("cost")
+            if not isinstance(cost, (int, float)) or cost < 0:
+                problems.append("invalid cost {!r}".format(cost))
+            threshold = attrs.get("threshold")
+            if threshold is not None and (
+                not isinstance(threshold, (int, float)) or threshold <= 0
+            ):
+                problems.append("invalid threshold {!r}".format(threshold))
+            for problem in problems:
+                findings.append(LintFinding(
+                    "probe-attrs", ERROR, function.name, block.label,
+                    "probe at instruction {}: {}".format(index, problem),
+                ))
+
+
+def _check_probe_placement(function, cfg, findings):
+    """Section 4.3's placement rule: a probe at function entry and one at
+    every loop back-edge (in the latch block)."""
+    entry_block = function.block(function.entry)
+    if not any(i.is_probe for i in entry_block.instrs):
+        findings.append(LintFinding(
+            "missing-entry-probe", ERROR, function.name, function.entry,
+            "instrumented function lacks a probe in its entry block",
+        ))
+    reachable = cfg.reachable()
+    for loop in cfg.natural_loops():
+        if loop.header not in reachable:
+            continue
+        latch = function.block(loop.latch)
+        if not any(i.is_probe for i in latch.instrs):
+            findings.append(LintFinding(
+                "missing-latch-probe", ERROR, function.name, loop.latch,
+                "back edge to {!r} has no probe in its latch "
+                "block".format(loop.header),
+            ))
+
+
+def lint_function(function, expect_probes=False, cfg=None):
+    """Run every lint check on one function; returns the findings.
+
+    ``expect_probes`` additionally enforces the instrumentation
+    placement rule — enable it only for code that already went through
+    :class:`~repro.instrument.passes.ProbeInsertionPass`.
+    """
+    cfg = cfg or ControlFlowGraph(function)
+    findings = []
+    _check_use_before_def(function, cfg, findings)
+    _check_unreachable(function, cfg, findings)
+    _check_dead_stores(function, cfg, findings)
+    _check_ext_call_costs(function, findings)
+    _check_probe_attrs(function, findings)
+    if expect_probes:
+        _check_probe_placement(function, cfg, findings)
+    return findings
+
+
+def lint_module(module, expect_probes=False):
+    """Lint every function in a module; returns the combined findings."""
+    findings = []
+    for name in sorted(module.functions):
+        findings.extend(
+            lint_function(module.functions[name], expect_probes)
+        )
+    return findings

@@ -1,0 +1,698 @@
+"""Static probe-gap certification: a WCET-style bound on probe-free cycles.
+
+Concord's correctness claim (section 4.3) is that the compiler bounds how
+many cycles any code path can run between two preemption probes.  The
+interpreter only *observes* probe gaps for the inputs it happens to run;
+this module *proves* a bound from the CFG alone, so every kernel and every
+future IR change can be certified rather than spot-checked.
+
+The analysis composes **path summaries** over the loop nest.  A summary
+abstracts a single-entry region by four quantities, each a cycle count
+with a witness path:
+
+* ``entry``   — most cycles from region entry to the *first* probe firing;
+* ``exit``    — most cycles from the *last* firing to region exit;
+* ``internal``— largest gap between two consecutive firings wholly inside;
+* ``through`` — most expensive traversal with *no* firing at all
+  (``None`` when every path through the region must fire).
+
+Sequencing, branching (pointwise max), calls (callee summaries, in call
+graph order), and loops compose these exactly like interval arithmetic.
+Loops are where probe periods bite: a back-edge probe inserted with
+``period=k`` (the unroll pass's amortization) may stay silent for up to
+``k - 1`` consecutive iterations, so the loop's summary is inflated by
+``(k - 1) x c`` where ``c`` is the worst firing-free cost of one
+iteration.  rdtsc-style probes fire once their cycle ``threshold``
+elapses, contributing ``threshold + c`` instead.  A back edge whose latch
+block carries *no* probe admits an unbounded probe-free cycle: the bound
+becomes infinite and the witness names the cycle — exactly the failure a
+stripped latch probe must produce.
+
+Soundness invariant (checked differentially in the test suite): for every
+kernel, the certified ``internal`` bound dominates the maximum probe gap
+the interpreter ever measures.
+"""
+
+import math
+
+from repro.instrument.cfg import ControlFlowGraph
+from repro.instrument.ir import OP_CYCLES
+
+__all__ = [
+    "CertificationError",
+    "Gap",
+    "GapCertificate",
+    "PathSummary",
+    "analyze_function",
+    "analyze_module",
+    "certify_module",
+]
+
+INFINITE = math.inf
+
+#: Witness paths longer than this are elided in the middle.
+_MAX_WITNESS = 60
+
+
+class CertificationError(ValueError):
+    """Certification failed; ``witness`` names the offending path."""
+
+    def __init__(self, message, witness=()):
+        super().__init__(message)
+        self.witness = tuple(witness)
+
+
+class Gap:
+    """A cycle count together with the path that realizes it."""
+
+    __slots__ = ("cycles", "witness")
+
+    def __init__(self, cycles, witness=()):
+        self.cycles = float(cycles)
+        self.witness = tuple(witness)
+
+    def __repr__(self):
+        return "Gap({:.2f}, {} steps)".format(self.cycles, len(self.witness))
+
+
+def _squeeze(parts):
+    """Drop consecutive duplicates and elide overlong witness paths."""
+    out = []
+    for part in parts:
+        if not out or out[-1] != part:
+            out.append(part)
+    if len(out) > _MAX_WITNESS:
+        half = _MAX_WITNESS // 2
+        out = out[:half] + ["..."] + out[-half:]
+    return tuple(out)
+
+
+def _pick(*gaps):
+    """Largest of the given gaps, ignoring ``None`` (no such path)."""
+    best = None
+    for gap in gaps:
+        if gap is not None and (best is None or gap.cycles > best.cycles):
+            best = gap
+    return best
+
+
+def _chain(*gaps):
+    """Concatenate gaps into one path; ``None`` if any leg is missing."""
+    total = 0.0
+    witness = []
+    for gap in gaps:
+        if gap is None:
+            return None
+        total += gap.cycles
+        witness.extend(gap.witness)
+    return Gap(total, _squeeze(witness))
+
+
+class PathSummary:
+    """Gap summary of a single-entry region (see module docstring)."""
+
+    __slots__ = ("entry", "exit", "internal", "through")
+
+    def __init__(self, entry=None, exit=None, internal=None, through=None):
+        self.entry = entry
+        self.exit = exit
+        self.internal = internal
+        self.through = through
+
+    @property
+    def always_fires(self):
+        """True when every traversal of the region fires a probe."""
+        return self.through is None
+
+    def __repr__(self):
+        def show(gap):
+            return "-" if gap is None else "{:.1f}".format(gap.cycles)
+
+        return "PathSummary(entry={}, exit={}, internal={}, through={})".format(
+            show(self.entry), show(self.exit), show(self.internal),
+            show(self.through),
+        )
+
+
+def _identity():
+    return PathSummary(through=Gap(0.0))
+
+
+def _cost(cycles, tag=None):
+    return PathSummary(through=Gap(cycles, (tag,) if tag else ()))
+
+
+def _seq(a, b):
+    """Summary of region ``a`` followed by region ``b``."""
+    return PathSummary(
+        entry=_pick(a.entry, _chain(a.through, b.entry)),
+        exit=_pick(b.exit, _chain(a.exit, b.through)),
+        internal=_pick(a.internal, b.internal, _chain(a.exit, b.entry)),
+        through=_chain(a.through, b.through),
+    )
+
+
+def _alt(a, b):
+    """Summary of either region ``a`` or region ``b`` (path join)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return PathSummary(
+        entry=_pick(a.entry, b.entry),
+        exit=_pick(a.exit, b.exit),
+        internal=_pick(a.internal, b.internal),
+        through=_pick(a.through, b.through),
+    )
+
+
+# -- elements ----------------------------------------------------------------------
+
+
+def _probe_element(instr, tag):
+    """Summary of one probe site, honouring period/threshold semantics."""
+    attrs = instr.attrs
+    threshold = attrs.get("threshold")
+    if threshold is not None:
+        # rdtsc style: a cheap counter visit always happens; the full check
+        # fires only once the interval elapsed — so the probe may stay
+        # silent (modelled by ``through``) and the loop-level threshold
+        # inflation bounds how long.
+        visit = float(attrs.get("visit_cost", 0))
+        return PathSummary(
+            entry=Gap(visit + attrs["cost"], (tag + " probe(rdtsc)",)),
+            exit=Gap(0.0),
+            through=Gap(visit),
+        )
+    period = int(attrs.get("period", 1))
+    fire = Gap(float(attrs["cost"]), (tag + " probe",))
+    if period > 1:
+        # Unrolled back-edge probe: silent on up to period-1 consecutive
+        # visits (free of charge), accounted for by the loop inflation.
+        return PathSummary(entry=fire, exit=Gap(0.0), through=Gap(0.0))
+    return PathSummary(entry=fire, exit=Gap(0.0), through=None)
+
+
+def _block_summary(function, block, callee_summaries):
+    """Summary of one basic block, terminator cost included."""
+    tag = "{}.{}".format(function.name, block.label)
+    summary = _identity()
+    pending = 0.0
+
+    def flush():
+        nonlocal summary, pending
+        if pending:
+            summary = _seq(summary, _cost(pending, tag))
+            pending = 0.0
+
+    for instr in block.instrs:
+        op = instr.op
+        if op == "probe":
+            flush()
+            summary = _seq(summary, _probe_element(instr, tag))
+        elif op == "ext_call":
+            pending += float(instr.attrs["cost"])
+        elif op == "call":
+            pending += float(OP_CYCLES["call"])
+            flush()
+            callee = callee_summaries.get(instr.args[0])
+            if callee is None:
+                raise CertificationError(
+                    "{}: call to unanalyzed function {!r}".format(
+                        tag, instr.args[0]
+                    )
+                )
+            summary = _seq(summary, callee)
+        else:
+            cost = OP_CYCLES[op]
+            discount = instr.attrs.get("discount") if instr.attrs else None
+            pending += cost / discount if discount else float(cost)
+    terminator = block.terminator
+    t_discount = terminator.attrs.get("discount")
+    pending += 1.0 / t_discount if t_discount else 1.0
+    flush()
+    return summary
+
+
+# -- loop nest ---------------------------------------------------------------------
+
+
+class _Loop:
+    __slots__ = ("header", "latches", "body", "children", "parent")
+
+    def __init__(self, header):
+        self.header = header
+        self.latches = []
+        self.body = set()
+        self.children = []
+        self.parent = None
+
+
+def _loop_forest(function, cfg, reachable):
+    """Natural loops merged by header and nested into a forest.
+
+    Returns ``(top_level_loops, owner)`` where ``owner`` maps each block
+    label to its innermost containing loop (or None).
+    """
+    merged = {}
+    for loop in cfg.natural_loops():
+        if loop.header not in reachable:
+            continue
+        entry = merged.get(loop.header)
+        if entry is None:
+            entry = merged[loop.header] = _Loop(loop.header)
+        entry.latches.append(loop.latch)
+        entry.body.update(loop.body)
+
+    loops = sorted(merged.values(), key=lambda l: len(l.body))
+    for i, inner in enumerate(loops):
+        for outer in loops[i + 1:]:
+            if outer is inner or inner.header not in outer.body:
+                continue
+            if not inner.body <= outer.body:
+                raise CertificationError(
+                    "{}: loops at {!r} and {!r} overlap without nesting "
+                    "(irreducible control flow)".format(
+                        function.name, inner.header, outer.header
+                    )
+                )
+            inner.parent = outer
+            outer.children.append(inner)
+            break
+
+    owner = {}
+    for loop in loops:  # innermost first: first owner assignment wins
+        for label in loop.body:
+            owner.setdefault(label, loop)
+    top = [loop for loop in loops if loop.parent is None]
+    return top, owner
+
+
+def _eval_dag(nodes, start, edges, elements, context):
+    """Propagate path summaries over an acyclic region graph.
+
+    Returns ``out`` summaries per node (``None`` for nodes no region path
+    reaches).  Raises on a cycle: with back edges removed and loops
+    collapsed, a residual cycle means irreducible control flow.
+    """
+    indegree = {node: 0 for node in nodes}
+    for node in nodes:
+        for succ in edges[node]:
+            indegree[succ] += 1
+    ready = [node for node in nodes if indegree[node] == 0]
+    incoming = {node: None for node in nodes}
+    incoming[start] = _identity()
+    out = {}
+    seen = 0
+    while ready:
+        node = ready.pop()
+        seen += 1
+        arrived = incoming[node]
+        out[node] = (
+            None if arrived is None else _seq(arrived, elements[node])
+        )
+        for succ in edges[node]:
+            if out[node] is not None:
+                incoming[succ] = _alt(incoming[succ], out[node])
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if seen != len(nodes):
+        raise CertificationError(
+            "{}: irreducible control flow (cycle not headed by a natural "
+            "loop)".format(context)
+        )
+    return out
+
+
+def _latch_inflation(function, loop, iteration_through):
+    """Gap a loop's silent back-edge probes can accumulate.
+
+    ``iteration_through`` is the worst firing-free cost of one iteration
+    (``None`` when every iteration fires, making inflation moot).  Each
+    back edge contributes according to its latch block's probes: a
+    ``period=k`` probe stays silent for at most ``k - 1`` iterations, an
+    rdtsc probe for at most ``threshold`` accumulated cycles, and a latch
+    with *no* probe admits an unbounded probe-free cycle.
+    """
+    if iteration_through is None:
+        return Gap(0.0)
+    c = iteration_through
+    total = Gap(0.0)
+    for latch in loop.latches:
+        probes = [i for i in function.block(latch).instrs if i.is_probe]
+        if not probes:
+            return Gap(
+                INFINITE,
+                (
+                    "probe-free cycle: loop at {!r} (latch {!r}, "
+                    "{:.1f} cycles/iteration)".format(
+                        loop.header, latch, c.cycles
+                    ),
+                )
+                + c.witness,
+            )
+        best = None
+        for probe in probes:
+            threshold = probe.attrs.get("threshold")
+            if threshold is not None:
+                candidate = Gap(
+                    threshold + c.cycles,
+                    ("loop {!r}: rdtsc threshold {} + iteration".format(
+                        loop.header, threshold
+                    ),) + c.witness,
+                )
+            else:
+                period = int(probe.attrs.get("period", 1))
+                if period <= 1:
+                    candidate = Gap(0.0)
+                else:
+                    candidate = Gap(
+                        (period - 1) * c.cycles,
+                        ("loop {!r}: {} silent iterations "
+                         "(probe period {})".format(
+                             loop.header, period - 1, period
+                         ),) + c.witness,
+                    )
+            if best is None or candidate.cycles < best.cycles:
+                best = candidate
+        total = _chain(total, best)
+    return total
+
+
+def _loop_summary(function, cfg, loop, callee_summaries, reachable):
+    """Summary of a whole loop, from header entry to any exit edge."""
+    child_of = {}
+    for child in loop.children:
+        for label in child.body:
+            child_of[label] = child
+
+    nodes = []
+    for label in loop.body:
+        if label not in reachable:
+            continue
+        child = child_of.get(label)
+        if child is None:
+            nodes.append(label)
+        elif child.header == label:
+            nodes.append(label)  # the child loop, represented by its header
+
+    def represent(label):
+        child = child_of.get(label)
+        return child.header if child is not None else label
+
+    elements = {}
+    edges = {node: [] for node in nodes}
+    back_edge_nodes = set()
+    latch_blocks = set()
+    exit_nodes = set()
+
+    def successors_of(node):
+        child = child_of.get(node)
+        if child is not None:
+            return [
+                (source, succ)
+                for source in child.body
+                for succ in cfg.successors[source]
+                if succ not in child.body
+            ]
+        return [(node, succ) for succ in cfg.successors[node]]
+
+    for node in nodes:
+        child = child_of.get(node)
+        if child is not None:
+            elements[node] = _loop_summary(
+                function, cfg, child, callee_summaries, reachable
+            )
+        else:
+            elements[node] = _block_summary(
+                function, function.block(node), callee_summaries
+            )
+        for source, succ in successors_of(node):
+            if succ == loop.header:
+                back_edge_nodes.add(node)
+                latch_blocks.add(source)
+            elif succ in loop.body:
+                target = represent(succ)
+                if target not in edges[node]:
+                    edges[node].append(target)
+            else:
+                exit_nodes.add(node)
+
+    out = _eval_dag(
+        nodes, loop.header, edges, elements,
+        "{} loop {!r}".format(function.name, loop.header),
+    )
+
+    iteration = None
+    for node in back_edge_nodes:
+        iteration = _alt(iteration, out[node])
+    exits = None
+    for node in exit_nodes:
+        exits = _alt(exits, out[node])
+
+    if iteration is None:  # pragma: no cover - loops always have back edges
+        return exits if exits is not None else PathSummary()
+
+    inflate = _latch_inflation(
+        function, _LoopLatches(loop, latch_blocks), iteration.through
+    )
+
+    first_fire = _pick(
+        iteration.entry, exits.entry if exits is not None else None
+    )
+    return PathSummary(
+        entry=_chain(inflate, first_fire) if first_fire is not None else None,
+        exit=_pick(
+            exits.exit if exits is not None else None,
+            _chain(iteration.exit, inflate, exits.through)
+            if exits is not None else None,
+        ),
+        internal=_pick(
+            iteration.internal,
+            exits.internal if exits is not None else None,
+            _chain(iteration.exit, inflate, iteration.entry),
+            _chain(iteration.exit, inflate, exits.entry)
+            if exits is not None else None,
+        ),
+        through=(
+            _chain(inflate, exits.through) if exits is not None else None
+        ),
+    )
+
+
+class _LoopLatches:
+    """Adapter presenting the *actual* back-edge source blocks as latches
+    (a back edge can originate inside a nested loop)."""
+
+    __slots__ = ("header", "latches")
+
+    def __init__(self, loop, latch_blocks):
+        self.header = loop.header
+        self.latches = sorted(latch_blocks)
+
+
+# -- functions and modules ---------------------------------------------------------
+
+
+def analyze_function(function, callee_summaries=None, cfg=None):
+    """Compute the probe-gap :class:`PathSummary` of one function.
+
+    ``callee_summaries`` maps already-analyzed callee names to their
+    summaries (see :func:`analyze_module` for the call-graph ordering).
+    """
+    callee_summaries = callee_summaries or {}
+    cfg = cfg or ControlFlowGraph(function)
+    reachable = cfg.reachable()
+    top_loops, owner = _loop_forest(function, cfg, reachable)
+
+    nodes = []
+    elements = {}
+    for label in function.block_order:
+        if label not in reachable:
+            continue
+        loop = owner.get(label)
+        if loop is None:
+            nodes.append(label)
+            elements[label] = _block_summary(
+                function, function.block(label), callee_summaries
+            )
+    for loop in top_loops:
+        root = loop
+        while root.parent is not None:  # pragma: no cover - already top
+            root = root.parent
+        nodes.append(root.header)
+        elements[root.header] = _loop_summary(
+            function, cfg, root, callee_summaries, reachable
+        )
+
+    def represent(label):
+        loop = owner.get(label)
+        if loop is None:
+            return label
+        while loop.parent is not None:
+            loop = loop.parent
+        return loop.header
+
+    edges = {node: [] for node in nodes}
+    for node in nodes:
+        loop = owner.get(node)
+        if loop is not None:
+            outgoing = {
+                succ
+                for source in loop.body
+                for succ in cfg.successors[source]
+                if succ not in loop.body and succ in reachable
+            }
+        else:
+            outgoing = [s for s in cfg.successors[node] if s in reachable]
+        for succ in outgoing:
+            target = represent(succ)
+            if target != node and target not in edges[node]:
+                edges[node].append(target)
+
+    out = _eval_dag(
+        nodes, represent(function.entry), edges, elements, function.name
+    )
+
+    returning = None
+    deepest_entry = None
+    deepest_internal = None
+    for node in nodes:
+        summary = out.get(node)
+        if summary is None:
+            continue
+        deepest_entry = _pick(deepest_entry, summary.entry)
+        deepest_internal = _pick(deepest_internal, summary.internal)
+        loop = owner.get(node)
+        block = function.blocks.get(node)
+        if loop is None and block.terminator.op == "ret":
+            returning = _alt(returning, summary)
+
+    if returning is None:
+        # The function never returns; its gaps still count for callers
+        # that get stuck inside it, but nothing flows past the call.
+        return PathSummary(entry=deepest_entry, internal=deepest_internal)
+    return PathSummary(
+        entry=_pick(returning.entry, deepest_entry),
+        exit=returning.exit,
+        internal=_pick(returning.internal, deepest_internal),
+        through=returning.through,
+    )
+
+
+def _call_graph_order(module):
+    """Functions in callee-before-caller order; rejects recursion."""
+    DONE, ACTIVE = 1, 0
+    state = {}
+    order = []
+
+    def visit(name, chain):
+        if state.get(name) is DONE:
+            return
+        if state.get(name) is ACTIVE:
+            raise CertificationError(
+                "recursive call cycle: {}".format(
+                    " -> ".join(chain + [name])
+                ),
+                witness=tuple(chain + [name]),
+            )
+        function = module.functions.get(name)
+        if function is None:
+            raise CertificationError(
+                "call to unknown function {!r}".format(name)
+            )
+        state[name] = ACTIVE
+        for block in function.iter_blocks():
+            for instr in block.instrs:
+                if instr.op == "call":
+                    visit(instr.args[0], chain + [name])
+        state[name] = DONE
+        order.append(name)
+
+    for name in module.functions:
+        visit(name, [])
+    return order
+
+
+def analyze_module(module):
+    """Summaries for every function, resolved in call-graph order."""
+    summaries = {}
+    for name in _call_graph_order(module):
+        summaries[name] = analyze_function(
+            module.functions[name], summaries
+        )
+    return summaries
+
+
+class GapCertificate:
+    """The certified probe-gap bounds of one module.
+
+    ``gap_bound`` is the headline number: the worst uninstrumented cycle
+    stretch anywhere in a run of the entry function — between two probe
+    firings, before the first, after the last, or (for probe-free code)
+    wall to wall.  ``internal_bound`` restricts to gaps between two
+    consecutive firings, the quantity the interpreter's probe timeline
+    measures, so ``internal_bound >= max(dynamic gaps)`` always.
+    """
+
+    def __init__(self, module_name, entry_function, summaries):
+        self.module_name = module_name
+        self.entry_function = entry_function
+        self.summaries = summaries
+        summary = summaries[entry_function]
+        worst = _pick(
+            summary.entry, summary.exit, summary.internal, summary.through
+        )
+        self.gap_bound = worst.cycles if worst is not None else 0.0
+        self.witness = worst.witness if worst is not None else ()
+        self.internal_bound = (
+            summary.internal.cycles if summary.internal is not None else 0.0
+        )
+
+    @property
+    def certified(self):
+        """True when a finite probe-gap bound exists."""
+        return self.gap_bound < INFINITE
+
+    def check(self, max_gap_cycles=None):
+        """Raise :class:`CertificationError` unless the bound is finite
+        and (when given) within ``max_gap_cycles``."""
+        if not self.certified:
+            raise CertificationError(
+                "{!r} admits an unbounded probe-free path".format(
+                    self.module_name
+                ),
+                witness=self.witness,
+            )
+        if max_gap_cycles is not None and self.gap_bound > max_gap_cycles:
+            raise CertificationError(
+                "{!r}: certified probe gap {:.0f} cycles exceeds the "
+                "configured bound {:.0f}".format(
+                    self.module_name, self.gap_bound, max_gap_cycles
+                ),
+                witness=self.witness,
+            )
+        return True
+
+    def __repr__(self):
+        bound = (
+            "unbounded" if not self.certified
+            else "{:.0f}cyc".format(self.gap_bound)
+        )
+        return "GapCertificate({!r}, {})".format(self.module_name, bound)
+
+
+def certify_module(module, max_gap_cycles=None):
+    """Certify a module's worst probe-free stretch.
+
+    Always returns a :class:`GapCertificate`; when ``max_gap_cycles`` is
+    given, additionally enforces it via :meth:`GapCertificate.check`.
+    """
+    summaries = analyze_module(module)
+    certificate = GapCertificate(
+        module.name, module.entry_function().name, summaries
+    )
+    if max_gap_cycles is not None:
+        certificate.check(max_gap_cycles)
+    return certificate

@@ -16,8 +16,6 @@ penalized for redundancy the stock compiler would remove.
   repeated until nothing changes).
 """
 
-from repro.instrument.ir import Instr
-
 __all__ = [
     "ConstantFoldingPass",
     "DeadCodeEliminationPass",

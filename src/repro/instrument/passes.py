@@ -15,6 +15,7 @@ unrolling").
 import math
 
 from repro import constants
+from repro.instrument.analysis.dataflow import ReachingDefinitions
 from repro.instrument.cfg import ControlFlowGraph
 from repro.instrument.ir import (
     Instr,
@@ -67,10 +68,13 @@ class VerifyError(ValueError):
 
 
 def verify_function(function):
-    """Check structural invariants: an entry block exists, every block is
-    terminated, every jump target exists, every register is defined before
-    (syntactic, per-block) use of obviously-undefined names is not checked —
-    the IR is register-dynamic like LLVM's SSA is not."""
+    """Check IR invariants: an entry block exists, every block is
+    terminated, every jump target names a real block, every ``ext_call``
+    carries a cycle cost, and — via the reaching-definitions analysis —
+    every register read in reachable code has a definition on at least
+    one path from the entry (parameters count as definitions).  Raises
+    :class:`VerifyError` on the first violation; returns True otherwise.
+    """
     if function.entry is None:
         raise VerifyError("{!r} has no entry block".format(function.name))
     if not function.blocks:
@@ -92,6 +96,16 @@ def verify_function(function):
                 raise VerifyError(
                     "{}.{}: ext_call without a cost".format(function.name, label)
                 )
+    undefined = ReachingDefinitions().undefined_uses(function)
+    if undefined:
+        label, index, register = undefined[0]
+        where = (
+            "terminator" if index is None else "instruction {}".format(index)
+        )
+        raise VerifyError(
+            "{}.{}: register {!r} read at {} but never defined on any "
+            "path from the entry".format(function.name, label, register, where)
+        )
     return True
 
 

@@ -1,0 +1,199 @@
+"""Tests for the iterative dataflow framework and its three clients."""
+
+import pytest
+
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.analysis.dataflow import (
+    AnalysisError,
+    DataflowAnalysis,
+    Definition,
+    Liveness,
+    PARAM_SITE,
+    ReachableBlocks,
+    ReachingDefinitions,
+    instr_defs,
+    instr_uses,
+    terminator_uses,
+)
+from repro.instrument.ir import Instr, Terminator
+
+
+def diamond_function():
+    """entry -> (then | else) -> merge; 'x' defined on both arms."""
+    b = FunctionBuilder("diamond", params=["p"])
+    cond = b.emit("cmp_lt", "c", "p", 10)
+    b.br(cond, "then", "else")
+    b.block("then")
+    b.li("x", 1)
+    b.jump("merge")
+    b.block("else")
+    b.li("x", 2)
+    b.jump("merge")
+    b.block("merge")
+    b.emit("add", "y", "x", "p")
+    b.ret("y")
+    return b.function
+
+
+def one_armed_def_function():
+    """'x' is defined on only one arm but read at the merge."""
+    b = FunctionBuilder("onearm", params=["p"])
+    cond = b.emit("cmp_lt", "c", "p", 10)
+    b.br(cond, "then", "merge")
+    b.block("then")
+    b.li("x", 1)
+    b.jump("merge")
+    b.block("merge")
+    b.emit("add", "y", "x", "p")
+    b.ret("y")
+    return b.function
+
+
+class TestUseDefHelpers:
+    def test_call_callee_is_not_a_use(self):
+        instr = Instr("call", "r", ("helper", "a", "b"))
+        assert instr_uses(instr) == ("a", "b")
+        assert instr_defs(instr) == ("r",)
+
+    def test_ext_call_callee_is_not_a_use(self):
+        instr = Instr("ext_call", None, ("syscall", "fd"), {"cost": 10})
+        assert instr_uses(instr) == ("fd",)
+        assert instr_defs(instr) == ()
+
+    def test_branch_labels_are_not_uses(self):
+        term = Terminator("br", ("cond", "then", "else"))
+        assert terminator_uses(term) == ("cond",)
+
+    def test_ret_value_is_a_use(self):
+        assert terminator_uses(Terminator("ret", ("v",))) == ("v",)
+        assert terminator_uses(Terminator("ret", (7,))) == ()
+        assert terminator_uses(Terminator("jump", ("next",))) == ()
+
+
+class TestReachingDefinitions:
+    def test_both_arm_defs_reach_merge(self):
+        fn = diamond_function()
+        result = ReachingDefinitions().run(fn)
+        sites = {
+            (d.label, d.index)
+            for d in result.entry["merge"]
+            if d.register == "x"
+        }
+        assert sites == {("then", 0), ("else", 0)}
+
+    def test_params_are_definitions(self):
+        fn = diamond_function()
+        result = ReachingDefinitions().run(fn)
+        assert Definition("p", PARAM_SITE, 0) in result.entry["merge"]
+
+    def test_redefinition_kills(self):
+        b = FunctionBuilder("kill")
+        b.li("x", 1)
+        b.li("x", 2)
+        b.ret("x")
+        result = ReachingDefinitions().run(b.function)
+        xs = [d for d in result.exit["entry"] if d.register == "x"]
+        assert [d.index for d in xs] == [1]
+
+    def test_no_undefined_uses_in_well_formed_code(self):
+        assert ReachingDefinitions().undefined_uses(diamond_function()) == []
+
+    def test_one_armed_def_is_not_flagged(self):
+        # "Obviously undefined" means no def on ANY path; a def on one
+        # path suffices (the IR is not SSA; the frontend emits this shape).
+        assert ReachingDefinitions().undefined_uses(
+            one_armed_def_function()
+        ) == []
+
+    def test_truly_undefined_use_is_flagged(self):
+        b = FunctionBuilder("bad")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        flagged = ReachingDefinitions().undefined_uses(b.function)
+        assert flagged == [("entry", 0, "ghost")]
+
+    def test_undefined_terminator_use_is_flagged(self):
+        b = FunctionBuilder("bad")
+        b.ret("ghost")
+        assert ReachingDefinitions().undefined_uses(b.function) == [
+            ("entry", None, "ghost")
+        ]
+
+    def test_unreachable_blocks_are_skipped(self):
+        b = FunctionBuilder("skip")
+        b.ret(0)
+        b.block("island")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        assert ReachingDefinitions().undefined_uses(b.function) == []
+
+
+class TestLiveness:
+    def test_loop_carried_register_stays_live(self):
+        b = FunctionBuilder("loop")
+        b.li("acc", 0)
+
+        def body(i):
+            b.emit("add", "acc", "acc", i)
+
+        b.counted_loop("l", 10, body)
+        b.ret("acc")
+        fn = b.function
+        result = Liveness().run(fn)
+        assert "acc" in result.entry["l.header"]
+        assert Liveness().dead_definitions(fn) == []
+
+    def test_overwritten_store_is_dead(self):
+        b = FunctionBuilder("dead")
+        b.li("x", 1)
+        b.li("x", 2)
+        b.ret("x")
+        dead = Liveness().dead_definitions(b.function)
+        assert dead == [("entry", 0, "x")]
+
+    def test_pure_ops_filter(self):
+        b = FunctionBuilder("calls")
+        b.ext_call("ignored", "syscall", 10)
+        b.ret(0)
+        fn = b.function
+        assert Liveness().dead_definitions(fn, pure_ops={"li"}) == []
+        # Without the filter even the ext_call's dead dst is reported.
+        assert Liveness().dead_definitions(fn) == [("entry", 0, "ignored")]
+
+    def test_dead_across_blocks(self):
+        b = FunctionBuilder("cross")
+        b.li("x", 1)
+        b.jump("next")
+        b.block("next")
+        b.li("x", 2)
+        b.ret("x")
+        assert Liveness().dead_definitions(b.function) == [("entry", 0, "x")]
+
+
+class TestReachableBlocks:
+    def test_island_is_unreachable(self):
+        b = FunctionBuilder("r")
+        b.ret(0)
+        b.block("island")
+        b.ret(1)
+        assert ReachableBlocks().unreachable(b.function) == ["island"]
+
+    def test_all_blocks_reachable_in_diamond(self):
+        assert ReachableBlocks().unreachable(diamond_function()) == []
+
+
+class TestFramework:
+    def test_unknown_direction_rejected(self):
+        class Sideways(ReachableBlocks):
+            DIRECTION = "sideways"
+
+        with pytest.raises(AnalysisError):
+            Sideways().run(diamond_function())
+
+    def test_subclass_must_implement_lattice(self):
+        with pytest.raises(NotImplementedError):
+            DataflowAnalysis().run(diamond_function())
+
+    def test_converges_in_few_passes(self):
+        result = ReachingDefinitions().run(diamond_function())
+        assert result.passes <= 5

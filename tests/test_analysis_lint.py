@@ -1,0 +1,208 @@
+"""Tests for the IR linter and the strengthened verifier."""
+
+import pytest
+
+from repro.instrument.analysis.lint import (
+    ERROR,
+    WARNING,
+    lint_function,
+    lint_module,
+)
+from repro.instrument.builder import FunctionBuilder
+from repro.instrument.ir import Instr, Module
+from repro.instrument.kernels import KERNELS
+from repro.instrument.optim import optimize_function
+from repro.instrument.passes import (
+    CACHELINE_STYLE,
+    LoopUnrollPass,
+    ProbeInsertionPass,
+    VerifyError,
+    verify_function,
+)
+
+
+def checks(findings, name):
+    return [f for f in findings if f.check == name]
+
+
+class TestLintChecks:
+    def test_use_before_def_is_an_error(self):
+        b = FunctionBuilder("f")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        found = checks(lint_function(b.function), "use-before-def")
+        assert len(found) == 1
+        assert found[0].severity == ERROR
+        assert "ghost" in found[0].message
+
+    def test_unreachable_block_is_a_warning(self):
+        b = FunctionBuilder("f")
+        b.ret(0)
+        b.block("island")
+        b.ret(1)
+        found = checks(lint_function(b.function), "unreachable-block")
+        assert [f.block for f in found] == ["island"]
+        assert found[0].severity == WARNING
+
+    def test_dead_store_is_a_warning(self):
+        b = FunctionBuilder("f")
+        b.li("x", 1)
+        b.li("x", 2)
+        b.ret("x")
+        found = checks(lint_function(b.function), "dead-store")
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+
+    def test_dead_ext_call_is_not_a_dead_store(self):
+        b = FunctionBuilder("f")
+        b.ext_call("ignored", "syscall", 10)
+        b.ret(0)
+        assert checks(lint_function(b.function), "dead-store") == []
+
+    def test_ext_call_without_cost(self):
+        b = FunctionBuilder("f")
+        b._current.append(Instr("ext_call", None, ("syscall",)))
+        b.ret(0)
+        found = checks(lint_function(b.function), "ext-call-cost")
+        assert len(found) == 1 and found[0].severity == ERROR
+
+    def test_ext_call_negative_cost(self):
+        b = FunctionBuilder("f")
+        b._current.append(
+            Instr("ext_call", None, ("syscall",), {"cost": -5})
+        )
+        b.ret(0)
+        assert len(checks(lint_function(b.function), "ext-call-cost")) == 1
+
+    def test_malformed_probe_attrs(self):
+        b = FunctionBuilder("f")
+        b._current.append(
+            Instr("probe", None, (), {"style": "morse", "period": 0,
+                                      "cost": -1})
+        )
+        b.ret(0)
+        found = checks(lint_function(b.function), "probe-attrs")
+        messages = " ".join(f.message for f in found)
+        assert "style" in messages
+        assert "period" in messages
+        assert "cost" in messages
+
+    def test_well_formed_probe_is_clean(self):
+        b = FunctionBuilder("f")
+        ProbeInsertionPass(CACHELINE_STYLE).run(b_finish(b))
+        assert checks(lint_function(b.function), "probe-attrs") == []
+
+
+def b_finish(b):
+    b.ret(0)
+    return b.function
+
+
+class TestProbePlacement:
+    def instrumented_loop(self):
+        b = FunctionBuilder("f")
+        b.li("acc", 0)
+
+        def body(i):
+            b.emit("add", "acc", "acc", i)
+
+        b.counted_loop("l", 10, body)
+        b.ret("acc")
+        ProbeInsertionPass(CACHELINE_STYLE).run(b.function)
+        return b.function
+
+    def test_instrumented_function_is_clean(self):
+        fn = self.instrumented_loop()
+        findings = lint_function(fn, expect_probes=True)
+        assert [f for f in findings if f.severity == ERROR] == []
+
+    def test_missing_entry_probe(self):
+        fn = self.instrumented_loop()
+        entry = fn.block(fn.entry)
+        entry.instrs = [i for i in entry.instrs if not i.is_probe]
+        found = checks(
+            lint_function(fn, expect_probes=True), "missing-entry-probe"
+        )
+        assert len(found) == 1 and found[0].severity == ERROR
+
+    def test_missing_latch_probe(self):
+        fn = self.instrumented_loop()
+        latch = fn.block("l.latch")
+        latch.instrs = [i for i in latch.instrs if not i.is_probe]
+        found = checks(
+            lint_function(fn, expect_probes=True), "missing-latch-probe"
+        )
+        assert len(found) == 1
+        assert found[0].block == "l.latch"
+
+    def test_placement_not_enforced_by_default(self):
+        b = FunctionBuilder("f")
+        b.ret(0)
+        findings = lint_function(b.function)  # expect_probes=False
+        assert checks(findings, "missing-entry-probe") == []
+
+
+class TestKernelRegistry:
+    def test_every_instrumented_kernel_lints_clean_of_errors(self):
+        for spec in KERNELS:
+            module = spec.build(scale=0.05)
+            for fn in module.functions.values():
+                optimize_function(fn)
+            probe_pass = ProbeInsertionPass(CACHELINE_STYLE)
+            for fn in module.functions.values():
+                probe_pass.run(fn)
+            unroll = LoopUnrollPass()
+            for fn in module.functions.values():
+                unroll.run(fn)
+            findings = lint_module(module, expect_probes=True)
+            errors = [f for f in findings if f.severity == ERROR]
+            assert errors == [], "{}: {}".format(
+                spec.name, [str(f) for f in errors]
+            )
+
+    def test_finding_str_is_informative(self):
+        b = FunctionBuilder("f")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        finding = lint_function(b.function)[0]
+        text = str(finding)
+        assert "f.entry" in text and "use-before-def" in text
+
+
+class TestStrengthenedVerify:
+    def test_verify_rejects_truly_undefined_register(self):
+        b = FunctionBuilder("f")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        with pytest.raises(VerifyError, match="ghost"):
+            verify_function(b.function)
+
+    def test_verify_accepts_one_armed_definition(self):
+        b = FunctionBuilder("f", params=["p"])
+        cond = b.emit("cmp_lt", "c", "p", 10)
+        b.br(cond, "then", "merge")
+        b.block("then")
+        b.li("x", 1)
+        b.jump("merge")
+        b.block("merge")
+        b.emit("add", "y", "x", "p")
+        b.ret("y")
+        assert verify_function(b.function)
+
+    def test_verify_accepts_every_kernel(self):
+        for spec in KERNELS:
+            module = spec.build(scale=0.05)
+            for fn in module.functions.values():
+                assert verify_function(fn), spec.name
+
+    def test_module_lint_covers_all_functions(self):
+        module = Module("m")
+        good = FunctionBuilder("good")
+        good.ret(0)
+        module.add(good.function)
+        bad = FunctionBuilder("bad")
+        bad.emit("add", "y", "ghost", 1)
+        bad.ret("y")
+        module.add(bad.function)
+        findings = lint_module(module)
+        assert {f.function for f in findings} == {"bad"}

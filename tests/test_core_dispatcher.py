@@ -1,10 +1,8 @@
 """Focused tests for dispatcher behaviour: action priorities, stale-signal
 skipping, and the work-conserving steal path."""
 
-import pytest
-
 from repro.core import Server, concord, shinjuku
-from repro.core.presets import concord_no_steal, persephone_fcfs
+from repro.core.presets import persephone_fcfs
 from repro.hardware import c6420
 from repro.workloads import DeterministicProcess, PoissonProcess
 from repro.workloads.distributions import bimodal

@@ -14,7 +14,7 @@ from repro.workloads import (
     bimodal_50_1_50_100,
     fixed_1us,
 )
-from repro.workloads.distributions import ClassMix, Fixed, RequestClass
+from repro.workloads.distributions import ClassMix, RequestClass
 from repro.hardware import c6420
 
 

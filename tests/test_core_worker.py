@@ -2,7 +2,7 @@
 timing invariants."""
 
 from repro.core import Server, concord, shinjuku
-from repro.core.presets import concord_no_steal, persephone_fcfs
+from repro.core.presets import persephone_fcfs
 from repro.hardware import c6420
 from repro.workloads import PoissonProcess
 from repro.workloads.distributions import bimodal

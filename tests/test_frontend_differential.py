@@ -12,7 +12,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.instrument import Interpreter
-from repro.instrument.frontend import compile_module
 
 
 def build_expression(rng, depth, variables):

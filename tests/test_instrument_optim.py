@@ -1,7 +1,5 @@
 """Tests for constant folding and dead-code elimination."""
 
-import pytest
-
 from repro.instrument import FunctionBuilder, Interpreter
 from repro.instrument.ir import Module
 from repro.instrument.optim import (
@@ -52,6 +50,34 @@ class TestConstantFolding:
         fn = b.function
         ConstantFoldingPass().run(fn)
         assert Interpreter(module_of(b)).run().value == 0.0
+
+    def test_integer_division_by_literal_zero_does_not_crash(self):
+        b = FunctionBuilder("main")
+        b.li("n", 7)
+        b.li("d", 0)
+        b.emit("div", "q", "n", "d")
+        b.ret("q")
+        fn = b.function
+        ConstantFoldingPass().run(fn)  # must not raise ZeroDivisionError
+        ops = [i.op for i in fn.block("entry").instrs]
+        assert ops == ["li", "li", "li"]  # div folded, to the interp's 0.0
+        assert Interpreter(module_of(b)).run().value == 0.0
+
+    def test_zero_divisor_fold_matches_interpreter(self):
+        # The fold must agree with runtime semantics: x/0 evaluates to 0.0
+        # in the interpreter, so folding may not produce anything else.
+        for op, num, den in [("div", 9, 0), ("fdiv", 2.5, 0.0)]:
+            reference = FunctionBuilder("main")
+            reference.emit(op, "q", num, den)
+            reference.ret("q")
+            folded = FunctionBuilder("main")
+            folded.emit(op, "q", num, den)
+            folded.ret("q")
+            ConstantFoldingPass().run(folded.function)
+            assert (
+                Interpreter(module_of(folded)).run().value
+                == Interpreter(module_of(reference)).run().value
+            ), op
 
     def test_does_not_fold_across_calls(self):
         module = Module("m")
@@ -117,6 +143,55 @@ class TestDeadCodeElimination:
         b.ret(0)
         removed = DeadCodeEliminationPass().run(b.function)
         assert removed == 3
+
+    def test_probes_survive_even_when_unused(self):
+        from repro.instrument.passes import CACHELINE_STYLE, ProbeInsertionPass
+
+        b = FunctionBuilder("main")
+        b.li("result", 7)
+        b.ret("result")
+        fn = b.function
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        assert fn.probe_count() == 1
+        DeadCodeEliminationPass().run(fn)
+        assert fn.probe_count() == 1  # a probe's "result" is its side effect
+
+    def test_ext_calls_survive_even_when_result_unused(self):
+        b = FunctionBuilder("main")
+        b.ext_call("ignored", "write_log", 500)
+        b.li("result", 7)
+        b.ret("result")
+        fn = b.function
+        removed = DeadCodeEliminationPass().run(fn)
+        assert removed == 0
+        ops = [i.op for i in fn.block("entry").instrs]
+        assert "ext_call" in ops
+
+    def test_full_pipeline_preserves_probes_and_ext_calls(self):
+        from repro.instrument.passes import CACHELINE_STYLE, ProbeInsertionPass
+
+        b = FunctionBuilder("main")
+        b.li("acc", 0)
+
+        def body(i):
+            b.ext_call(b.fresh("e"), "syscall", 100)
+            b.emit("add", "acc", "acc", 1)
+
+        b.counted_loop("l", 5, body)
+        b.ret("acc")
+        fn = b.function
+        ProbeInsertionPass(CACHELINE_STYLE).run(fn)
+        probes_before = fn.probe_count()
+        ext_before = sum(
+            1 for blk in fn.iter_blocks() for i in blk.instrs
+            if i.is_ext_call
+        )
+        optimize_function(fn)
+        assert fn.probe_count() == probes_before
+        assert ext_before == sum(
+            1 for blk in fn.iter_blocks() for i in blk.instrs
+            if i.is_ext_call
+        )
 
     def test_loop_variables_survive(self):
         b = FunctionBuilder("main")

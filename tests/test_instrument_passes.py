@@ -3,7 +3,7 @@
 import pytest
 
 from repro.instrument.builder import FunctionBuilder
-from repro.instrument.ir import Function, Module, Terminator
+from repro.instrument.ir import Function, Terminator
 from repro.instrument.passes import (
     BaselineOptimizePass,
     CACHELINE_STYLE,
@@ -66,6 +66,35 @@ class TestVerify:
         b.ret()
         with pytest.raises(VerifyError):
             verify_function(b.function)
+
+    def test_register_never_defined_on_any_path(self):
+        b = FunctionBuilder("f")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        with pytest.raises(VerifyError, match="ghost"):
+            verify_function(b.function)
+
+    def test_register_defined_on_one_path_is_accepted(self):
+        # The IR is not SSA: a definition on any path from the entry is
+        # enough (the frontend emits this shape for if-assigned locals).
+        b = FunctionBuilder("f", params=["p"])
+        cond = b.emit("cmp_lt", "c", "p", 10)
+        b.br(cond, "then", "merge")
+        b.block("then")
+        b.li("x", 1)
+        b.jump("merge")
+        b.block("merge")
+        b.emit("add", "y", "x", "p")
+        b.ret("y")
+        assert verify_function(b.function)
+
+    def test_undefined_use_in_unreachable_block_is_tolerated(self):
+        b = FunctionBuilder("f")
+        b.ret(0)
+        b.block("island")
+        b.emit("add", "y", "ghost", 1)
+        b.ret("y")
+        assert verify_function(b.function)
 
 
 class TestProbeInsertion:

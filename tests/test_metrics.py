@@ -1,6 +1,5 @@
 """Tests for percentiles, histograms, slowdown summaries, and sweeps."""
 
-import math
 import random
 
 import pytest

@@ -4,8 +4,6 @@ documented, experiment registry matches DESIGN.md's inventory."""
 import pathlib
 import py_compile
 
-import pytest
-
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
 
