@@ -1,0 +1,148 @@
+"""The rack's load-balancer agent.
+
+One balancer fronts N servers: it generates the rack's open-loop arrival
+stream (so the *same* arrival randomness hits every policy under test —
+common random numbers at rack scale), consults its inter-server policy for
+each request, and ships the request across the fabric to the chosen
+server's :meth:`~repro.core.server.Server.deliver` seam.  Completions
+travel back across one hop; in counter-telemetry mode their landing is what
+decrements the balancer's queue view.
+"""
+
+from repro.core.request import Request
+from repro.cluster.network import TelemetryBoard
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer:
+    """Routes an open-loop arrival stream across the rack's servers."""
+
+    def __init__(self, sim, clock, servers, policy, fabric, streams):
+        if not servers:
+            raise ValueError("balancer needs at least one server")
+        self.sim = sim
+        self.clock = clock
+        self.servers = list(servers)
+        self.policy = policy
+        policy.prepare(self.servers)
+        self.fabric = fabric
+        self.board = TelemetryBoard(
+            len(self.servers), counter_mode=fabric.counter_telemetry
+        )
+        self.rng_arrival = streams.stream("lb-arrivals")
+        self.rng_service = streams.stream("lb-service")
+        self.rng_route = streams.stream("lb-route")
+        self.rng_net = streams.stream("lb-net")
+        #: Requests routed to each server.
+        self.routed = [0] * len(self.servers)
+        self.offered = 0
+        #: Replies that have landed back at the balancer.
+        self.replies = 0
+        self.num_requests = 0
+        self._workload = None
+        self._arrival = None
+        self._t_us = 0.0
+        for index, server in enumerate(self.servers):
+            server.on_complete = self._completion_hook(index)
+
+    # -- arrival generation ------------------------------------------------------
+
+    def start(self, workload, arrival, num_requests):
+        """Begin generating ``num_requests`` arrivals; the rack owns the
+        event loop and runs it after this returns."""
+        if num_requests < 1:
+            raise ValueError("need at least one request")
+        self.num_requests = num_requests
+        self._workload = workload
+        self._arrival = arrival
+        self._schedule_next()
+        self._start_telemetry()
+
+    def _schedule_next(self):
+        self._t_us += self._arrival.next_gap_us(self.rng_arrival)
+        cycle = self.clock.us_to_cycles(self._t_us)
+        self.sim.at(max(cycle, self.sim.now), self._fire, "lb-arrival")
+
+    def _fire(self):
+        kind, service_us = self._workload.sample_class(self.rng_service)
+        service_cycles = max(1, self.clock.us_to_cycles(service_us))
+        index = self.policy.choose(
+            self.board, len(self.servers), self.rng_route
+        )
+        request = Request(
+            rid=self.offered,
+            kind=kind,
+            arrival_cycle=None,
+            service_cycles=service_cycles,
+            service_us=service_us,
+            payload={"server": index, "routed_cycle": self.sim.now},
+        )
+        self.offered += 1
+        self.routed[index] += 1
+        self.board.on_route(index)
+        server = self.servers[index]
+        delay = self.fabric.hop_cycles(self.clock, self.rng_net)
+        self.sim.after(
+            delay, lambda: server.deliver(request), "net-deliver"
+        )
+        if self.offered < self.num_requests:
+            self._schedule_next()
+
+    # -- replies ----------------------------------------------------------------
+
+    def _completion_hook(self, index):
+        def on_complete(request):
+            delay = self.fabric.hop_cycles(self.clock, self.rng_net)
+            self.sim.after(
+                delay, lambda: self._reply_landed(index), "net-reply"
+            )
+
+        return on_complete
+
+    def _reply_landed(self, index):
+        self.replies += 1
+        self.board.on_reply(index)
+
+    # -- telemetry --------------------------------------------------------------
+
+    def _start_telemetry(self):
+        if self.board.counter_mode:
+            return
+        self._telemetry_tick()
+
+    def _telemetry_tick(self):
+        """Sample every server's true queue length and ship the reports to
+        the board after the fabric's report-path delay."""
+        for index, server in enumerate(self.servers):
+            value = server.inflight
+            delay = self.fabric.telemetry_delay_cycles(
+                self.clock, self.rng_net
+            )
+            self.sim.after(
+                delay,
+                lambda i=index, v=value: self.board.record_report(i, v),
+                "telemetry",
+            )
+        if self.replies >= self.num_requests:
+            return  # the rack has drained; stop pumping so the heap empties
+        self.sim.after(
+            self.clock.us_to_cycles(self.fabric.telemetry_interval_us),
+            self._telemetry_tick,
+            "telemetry-tick",
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    def imbalance(self):
+        """Max/mean ratio of per-server routed counts (1.0 = perfectly
+        even)."""
+        mean = sum(self.routed) / len(self.routed)
+        if mean <= 0:
+            return 1.0
+        return max(self.routed) / mean
+
+    def __repr__(self):
+        return "LoadBalancer(policy={}, offered={}, replies={})".format(
+            self.policy.name, self.offered, self.replies
+        )

@@ -1,0 +1,230 @@
+"""The simulated rack: N single-dispatcher servers behind one balancer.
+
+This is the first place multiple :class:`~repro.core.server.Server`
+instances coexist in **one** simulation: every server is built on the
+rack's shared :class:`~repro.sim.engine.Simulator` and fed through the
+externally-injected arrival seam (:meth:`Server.deliver`), so intra-server
+mechanisms (Concord's cooperation, JBSQ, work stealing) run unchanged while
+the inter-server layer routes above them.  Per-server randomness comes from
+:meth:`RngStreams.spawn_key`, so racks are reproducible and members are
+independent.
+"""
+
+from repro.core.server import RunLimitExceeded, Server
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.network import NetworkFabric
+from repro.cluster.policies import make_cluster_policy
+from repro.metrics.slowdown import summarize_slowdowns
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Cluster", "ClusterServer", "ClusterResult"]
+
+
+class ClusterServer(Server):
+    """One rack member: an ordinary single-dispatcher server wired into the
+    shared rack simulator with reproducibly-derived child streams.
+
+    The adapter adds nothing to the scheduling model — that is the point:
+    balancer-routed arrivals enter through the same :meth:`deliver` seam
+    the single-server paths use, so rack-scale results compose the exact
+    intra-server behaviour the paper's figures measure.
+    """
+
+    def __init__(self, index, machine, config, sim, streams, profile=None,
+                 app=None):
+        super().__init__(
+            machine, config,
+            sim=sim,
+            streams=streams.spawn_key("server", index),
+            profile=profile,
+            app=app,
+        )
+        self.index = index
+
+
+class Cluster:
+    """A rack of ``num_servers`` identical servers behind one balancer.
+
+    Parameters
+    ----------
+    machine, config:
+        Per-server machine spec and runtime configuration (the intra-server
+        mechanism: Concord, Shinjuku, no-preemption, ...).
+    num_servers:
+        Rack width.
+    policy:
+        Inter-server policy name ("random", "rr", "jsq", "po2", "sed") or
+        an :class:`~repro.cluster.policies.InterServerPolicy` instance.
+    fabric:
+        Optional :class:`~repro.cluster.network.NetworkFabric`; defaults to
+        the constants-derived rack fabric.
+    seed:
+        Master seed; servers and balancer derive children via
+        ``spawn_key``, so the same seed reproduces the whole rack.
+    """
+
+    def __init__(self, machine, config, num_servers, policy="jsq", seed=0,
+                 fabric=None, profile=None):
+        if num_servers < 1:
+            raise ValueError(
+                "rack needs at least one server, got {}".format(num_servers)
+            )
+        self.machine = machine
+        self.config = config
+        self.num_servers = num_servers
+        self.sim = Simulator()
+        self.streams = RngStreams(seed)
+        self.fabric = fabric if fabric is not None else NetworkFabric()
+        self.policy = make_cluster_policy(policy)
+        self.servers = [
+            ClusterServer(
+                index, machine, config, self.sim, self.streams,
+                profile=profile,
+            )
+            for index in range(num_servers)
+        ]
+        self.balancer = LoadBalancer(
+            self.sim, machine.clock, self.servers, self.policy, self.fabric,
+            self.streams.spawn_key("balancer"),
+        )
+        self._ran = False
+
+    def run(self, workload, arrival, num_requests, until_us=None,
+            max_events=120_000_000):
+        """Offer ``num_requests`` open-loop arrivals to the rack and run the
+        shared event loop to drain (or to ``until_us``)."""
+        if self._ran:
+            raise RuntimeError("Cluster instances are single-shot; build a new one")
+        self._ran = True
+        self.balancer.start(workload, arrival, num_requests)
+        clock = self.machine.clock
+        until = clock.us_to_cycles(until_us) if until_us is not None else None
+        self.sim.run(until=until, max_events=max_events)
+        completed = sum(len(server.completed) for server in self.servers)
+        drained = completed == num_requests
+        if not drained and until is None and self.sim.pending:
+            raise RunLimitExceeded(
+                "rack[{}x{}]: {} events were not enough to drain {} requests "
+                "({} completed)".format(
+                    self.num_servers, self.config.name, max_events,
+                    num_requests, completed,
+                )
+            )
+        return ClusterResult(
+            self,
+            [server.collect_result() for server in self.servers],
+            drained=drained,
+        )
+
+
+class ClusterResult:
+    """Rack-wide merged view over per-server SimResults.
+
+    Mirrors the read interface of :class:`~repro.core.server.SimResult`
+    (records, slowdowns, throughput) so :mod:`repro.metrics` works
+    unchanged, and adds rack-level introspection: per-server results,
+    routing counts, imbalance, and telemetry statistics.
+    """
+
+    def __init__(self, cluster, server_results, drained):
+        balancer = cluster.balancer
+        self.config_name = "{} x{} [{}]".format(
+            cluster.config.name, cluster.num_servers, cluster.policy.name
+        )
+        self.policy_name = cluster.policy.name
+        self.num_servers = cluster.num_servers
+        self.clock = cluster.machine.clock
+        self.fabric = cluster.fabric
+        self.server_results = server_results
+        #: Completed requests rack-wide, in completion order.
+        self.records = [
+            record
+            for result in server_results
+            for record in result.records
+        ]
+        self.records.sort(key=lambda r: r.completion_cycle)
+        self.num_offered = balancer.offered
+        self.drained = drained
+        arrivals = [
+            r.first_arrival_cycle for r in server_results if r.records
+        ]
+        self.first_arrival_cycle = min(arrivals) if arrivals else 0
+        self.end_cycle = max(r.end_cycle for r in server_results)
+        #: Requests the balancer routed to each server.
+        self.routed = list(balancer.routed)
+        self.replies = balancer.replies
+        self.telemetry_updates = balancer.board.updates
+        self.worker_stats = [
+            stat for result in server_results for stat in result.worker_stats
+        ]
+        self.dispatcher_stats = {
+            key: sum(r.dispatcher_stats[key] for r in server_results)
+            for key in server_results[0].dispatcher_stats
+        }
+
+    # -- the paper's metrics, rack-wide ------------------------------------------
+
+    def measured_records(self, warmup_frac=0.1):
+        """Pooled records ordered by arrival, with the rack-wide warmup
+        prefix discarded (same convention as a single server)."""
+        ordered = sorted(self.records, key=lambda r: r.arrival_cycle)
+        skip = int(len(ordered) * warmup_frac)
+        return ordered[skip:]
+
+    def slowdowns(self, warmup_frac=0.1):
+        """Per-request server-sojourn slowdowns pooled across the rack.
+
+        Pooling per-request samples (rather than averaging per-server
+        percentiles) is what makes the rack-wide p99/p99.9 equal the value
+        a client-side observer of all replies would compute.
+        """
+        return [r.slowdown() for r in self.measured_records(warmup_frac)]
+
+    def summary(self, warmup_frac=0.1):
+        """Rack-wide :class:`~repro.metrics.SlowdownSummary`."""
+        return summarize_slowdowns(self.slowdowns(warmup_frac))
+
+    def client_latencies_us(self, warmup_frac=0.1):
+        """End-to-end latency as a client outside the rack would measure:
+        balancer routing -> fabric hop -> server sojourn -> fabric hop,
+        using each request's actual routing instant."""
+        hop_us = self.fabric.hop_latency_us + self.fabric.hop_jitter_us / 2.0
+        out = []
+        for record in self.measured_records(warmup_frac):
+            routed = record.payload["routed_cycle"]
+            in_rack = self.clock.cycles_to_us(
+                record.completion_cycle - routed
+            )
+            out.append(in_rack + hop_us)
+        return out
+
+    def duration_cycles(self):
+        return max(1, self.end_cycle - self.first_arrival_cycle)
+
+    def throughput_rps(self):
+        return len(self.records) * self.clock.freq_hz / self.duration_cycles()
+
+    def imbalance(self):
+        """Max/mean ratio of per-server routed counts."""
+        mean = sum(self.routed) / len(self.routed)
+        if mean <= 0:
+            return 1.0
+        return max(self.routed) / mean
+
+    def per_server_summaries(self, warmup_frac=0.1):
+        """Per-server slowdown summaries (None for idle servers)."""
+        out = []
+        for result in self.server_results:
+            samples = result.slowdowns(warmup_frac)
+            out.append(summarize_slowdowns(samples) if samples else None)
+        return out
+
+    def __repr__(self):
+        return (
+            "ClusterResult(config={!r}, offered={}, completed={}, "
+            "drained={})".format(
+                self.config_name, self.num_offered, len(self.records),
+                self.drained,
+            )
+        )

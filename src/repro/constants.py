@@ -159,6 +159,26 @@ RDTSC_INSTRUMENTATION_OVERHEAD = 0.21
 #: 10us").
 NETWORK_RTT_NS = 10_000
 
+# --- Rack-scale cluster fabric (repro.cluster; RackSched/Rain-style) ----------
+
+#: One-way latency of a single intra-rack hop (load balancer -> server or
+#: back) in nanoseconds.  Half the client<->server round trip of section
+#: 5.1: one ToR switch traversal each way.
+CLUSTER_HOP_LATENCY_NS = NETWORK_RTT_NS // 2
+
+#: Uniform jitter added on top of each hop's base latency (switch queueing,
+#: serialization) in nanoseconds.
+CLUSTER_HOP_JITTER_NS = 1_000
+
+#: Period of per-server queue-length telemetry reports to the load
+#: balancer, in microseconds.  RackSched's switch tracks queue lengths from
+#: periodic/piggybacked reports; <= 0 means the balancer does its own
+#: request/reply accounting instead (idealized switch-local counters).
+CLUSTER_TELEMETRY_INTERVAL_US = 5.0
+
+#: Default rack size for cluster experiments (servers behind one balancer).
+CLUSTER_DEFAULT_NUM_SERVERS = 4
+
 # --- Evaluation defaults (section 5.1) -----------------------------------------
 
 #: Number of worker threads in the paper's full-size experiments.

@@ -4,6 +4,13 @@ A :class:`Server` wires the dispatcher and workers onto a machine spec,
 generates open-loop arrivals, runs the event loop to completion, and returns
 a :class:`SimResult` with every completed request plus agent-level counters.
 Servers are single-shot: build a fresh one per simulated run (they are cheap).
+
+Arrival generation is a *separable source*: :meth:`Server.run` builds the
+default open-loop source and feeds it to :meth:`Server.run_source`, which
+accepts any lazily-pulled iterator of ``(arrival_us, request)`` pairs.
+External agents (the rack-scale layer in :mod:`repro.cluster`) bypass the
+source machinery entirely and push requests in with :meth:`Server.deliver`,
+sharing one :class:`~repro.sim.engine.Simulator` across many servers.
 """
 
 from repro import constants
@@ -170,11 +177,14 @@ class SimResult:
 class Server:
     """A single simulated server instance (one run)."""
 
-    def __init__(self, machine, config, seed=0, profile=None, app=None):
+    def __init__(self, machine, config, seed=0, profile=None, app=None,
+                 sim=None, streams=None):
         self.machine = machine
         self.config = config
         self.clock = machine.clock
-        self.sim = Simulator()
+        #: The event loop.  Pass a shared ``sim`` to make several servers
+        #: coexist in one simulation (the rack-scale layer does this).
+        self.sim = sim if sim is not None else Simulator()
         #: Optional application implementing the Concord API (section 4.1).
         #: Its setup hooks run now; its service_time_us refines workload
         #: samples per request.
@@ -183,7 +193,12 @@ class Server:
             app.setup()
             for core in range(machine.num_workers):
                 app.setup_worker(core)
-        streams = RngStreams(seed)
+        #: Pass ``streams`` (e.g. ``master.spawn_key("server", i)``) to give
+        #: each member of a multi-server simulation independent,
+        #: reproducibly-derived randomness; ``seed`` is ignored then.
+        if streams is None:
+            streams = RngStreams(seed)
+        self.streams = streams
         self.rng_arrival = streams.stream("arrivals")
         self.rng_service = streams.stream("service")
         self.rng_notice = streams.stream("notice")
@@ -223,7 +238,11 @@ class Server:
         ]
         self.dispatcher = Dispatcher(self.sim, self)
         self.completed = []
+        #: Optional callback fired on every completion — the seam the
+        #: cluster load balancer uses to observe replies.
+        self.on_complete = None
         self._ran = False
+        self._arrivals = {"count": 0, "first": None, "last": None}
 
     # -- callbacks used by agents ------------------------------------------------------
 
@@ -246,6 +265,77 @@ class Server:
 
     def record_completion(self, request):
         self.completed.append(request)
+        if self.on_complete is not None:
+            self.on_complete(request)
+
+    # -- the arrival seam -------------------------------------------------------------------
+
+    def deliver(self, request):
+        """Inject an externally-generated ``request`` *now*.
+
+        This is the seam the rack-scale layer (:mod:`repro.cluster`) plugs
+        into: the load balancer builds the request, models the network hop,
+        and calls ``deliver`` on the chosen server at the delivery instant.
+        ``request.arrival_cycle`` is stamped here (unless already set) so
+        slowdowns measure the server sojourn, exactly as in the
+        single-server runs.
+        """
+        cycle = self.sim.now
+        if request.arrival_cycle is None:
+            request.arrival_cycle = cycle
+        state = self._arrivals
+        if state["first"] is None:
+            state["first"] = cycle
+        state["last"] = cycle
+        state["count"] += 1
+        self.dispatcher.on_arrival(request)
+
+    @property
+    def inflight(self):
+        """Requests delivered but not yet completed — the queue-length
+        telemetry signal an inter-server balancer observes."""
+        return self._arrivals["count"] - len(self.completed)
+
+    @property
+    def num_delivered(self):
+        """Total arrivals injected so far (any source)."""
+        return self._arrivals["count"]
+
+    def build_request(self, rid, workload):
+        """Sample one request from ``workload`` using this server's service
+        stream (and the application's refinement, if any)."""
+        kind, service_us = workload.sample_class(self.rng_service)
+        if self.app is not None:
+            service_us = self.app.service_time_us(
+                kind, service_us, self.rng_service
+            )
+        return self.request_from_sample(rid, kind, service_us)
+
+    def request_from_sample(self, rid, kind, service_us):
+        """Build a not-yet-arrived :class:`Request` from explicit values;
+        ``arrival_cycle`` is stamped by :meth:`deliver`."""
+        service_cycles = max(1, self.clock.us_to_cycles(service_us))
+        return Request(
+            rid=rid,
+            kind=kind,
+            arrival_cycle=None,
+            service_cycles=service_cycles,
+            service_us=service_us,
+        )
+
+    def arrival_source(self, workload, arrival, num_requests):
+        """The default open-loop source: lazily yields ``(arrival_us,
+        request)`` pairs, drawing gaps from ``arrival`` and classes from
+        ``workload``.
+
+        Laziness matters: :meth:`run_source` pulls the next pair only after
+        the previous arrival fires, so closed-loop processes (zero gaps,
+        paced by completions) keep their semantics.
+        """
+        t_us = 0.0
+        for rid in range(num_requests):
+            t_us += arrival.next_gap_us(self.rng_arrival)
+            yield t_us, self.build_request(rid, workload)
 
     # -- running ---------------------------------------------------------------------------
 
@@ -267,100 +357,104 @@ class Server:
         max_events:
             Safety valve against runaway simulations.
         """
-        if self._ran:
-            raise RuntimeError("Server instances are single-shot; build a new one")
-        self._ran = True
         if num_requests < 1:
             raise ValueError("need at least one request")
+        return self.run_source(
+            self.arrival_source(workload, arrival, num_requests),
+            expected=num_requests, until_us=until_us, max_events=max_events,
+        )
 
-        state = {"count": 0, "t_us": 0.0, "first": None, "last": None}
+    def run_source(self, source, expected=None, until_us=None,
+                   max_events=60_000_000):
+        """Drive the server from an injectable arrival source.
 
-        def fire_arrival():
-            cycle = self.sim.now
-            if state["first"] is None:
-                state["first"] = cycle
-            state["last"] = cycle
-            kind, service_us = workload.sample_class(self.rng_service)
-            if self.app is not None:
-                service_us = self.app.service_time_us(
-                    kind, service_us, self.rng_service
-                )
-            service_cycles = max(1, self.clock.us_to_cycles(service_us))
-            request = Request(
-                rid=state["count"],
-                kind=kind,
-                arrival_cycle=cycle,
-                service_cycles=service_cycles,
-                service_us=service_us,
-            )
-            state["count"] += 1
-            self.dispatcher.on_arrival(request)
-            if state["count"] < num_requests:
-                schedule_next()
+        ``source`` is any iterator of ``(arrival_us, request)`` pairs with
+        non-decreasing times; it is pulled *lazily* — the next pair is
+        requested only after the previous arrival fires, so sources may
+        react to simulation state.  ``expected`` is the number of arrivals
+        the source will produce (used for the drain check); when None, the
+        run counts whatever the source yielded.
+        """
+        self._claim_run()
+        iterator = iter(source)
+
+        def fire(request):
+            self.deliver(request)
+            schedule_next()
 
         def schedule_next():
-            state["t_us"] += arrival.next_gap_us(self.rng_arrival)
-            cycle = self.clock.us_to_cycles(state["t_us"])
-            self.sim.at(max(cycle, self.sim.now), fire_arrival, "arrival")
+            try:
+                t_us, request = next(iterator)
+            except StopIteration:
+                return
+            cycle = self.clock.us_to_cycles(t_us)
+            self.sim.at(max(cycle, self.sim.now), lambda: fire(request),
+                        "arrival")
 
         schedule_next()
-        return self._drain(num_requests, state, until_us, max_events)
+        return self._drain(expected, until_us, max_events)
 
     def run_trace(self, trace, until_us=None, max_events=60_000_000):
         """Replay a recorded :class:`~repro.workloads.trace.Trace` exactly:
         same arrival instants, kinds, and service times.  Replaying one
         trace against several configurations gives a perfectly paired
         comparison (stronger than common random numbers)."""
-        if self._ran:
-            raise RuntimeError("Server instances are single-shot; build a new one")
-        self._ran = True
         if not len(trace):
             raise ValueError("empty trace")
 
-        state = {"count": 0, "first": None, "last": None}
-
-        def fire(record):
-            cycle = self.sim.now
-            if state["first"] is None:
-                state["first"] = cycle
-            state["last"] = cycle
-            service_cycles = max(1, self.clock.us_to_cycles(record.service_us))
-            request = Request(
-                rid=state["count"],
-                kind=record.kind,
-                arrival_cycle=cycle,
-                service_cycles=service_cycles,
-                service_us=record.service_us,
-            )
-            state["count"] += 1
-            self.dispatcher.on_arrival(request)
-
-        for record in trace:
-            cycle = self.clock.us_to_cycles(record.arrival_us)
-            self.sim.at(cycle, lambda r=record: fire(r), "trace-arrival")
-        return self._drain(len(trace), state, until_us, max_events)
-
-    def _drain(self, num_requests, state, until_us, max_events):
-        until = self.clock.us_to_cycles(until_us) if until_us is not None else None
-        self.sim.run(until=until, max_events=max_events)
-        drained = len(self.completed) == num_requests
-        if not drained and until is None:
-            if self.sim.pending:
-                raise RunLimitExceeded(
-                    "{}: {} events were not enough to drain {} requests "
-                    "({} completed)".format(
-                        self.config.name, max_events, num_requests,
-                        len(self.completed),
-                    )
+        def source():
+            for rid, record in enumerate(trace):
+                yield record.arrival_us, self.request_from_sample(
+                    rid, record.kind, record.service_us
                 )
+
+        return self.run_source(
+            source(), expected=len(trace), until_us=until_us,
+            max_events=max_events,
+        )
+
+    def collect_result(self, drained=None, num_offered=None):
+        """Build a :class:`SimResult` from the server's current state.
+
+        The single-server paths call this through :meth:`_drain`; in a
+        multi-server simulation the rack runs the shared event loop itself
+        and calls ``collect_result`` on each member afterwards.
+        """
+        state = self._arrivals
+        if num_offered is None:
+            num_offered = state["count"]
+        if drained is None:
+            drained = len(self.completed) == state["count"]
         return SimResult(
             server=self,
-            num_offered=state["count"],
+            num_offered=num_offered,
             first_arrival=state["first"] or 0,
             last_arrival=state["last"] or 0,
             end_cycle=self.sim.now,
             drained=drained,
         )
+
+    def _claim_run(self):
+        if self._ran:
+            raise RuntimeError("Server instances are single-shot; build a new one")
+        self._ran = True
+
+    def _drain(self, expected, until_us, max_events):
+        until = self.clock.us_to_cycles(until_us) if until_us is not None else None
+        self.sim.run(until=until, max_events=max_events)
+        if expected is None:
+            expected = self._arrivals["count"]
+        drained = len(self.completed) == expected
+        if not drained and until is None:
+            if self.sim.pending:
+                raise RunLimitExceeded(
+                    "{}: {} events were not enough to drain {} requests "
+                    "({} completed)".format(
+                        self.config.name, max_events, expected,
+                        len(self.completed),
+                    )
+                )
+        return self.collect_result(drained=drained)
 
 
 def capacity_estimate_rps(machine, workload, overhead_fraction=0.05):

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — alias for the ``concord-repro`` CLI."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

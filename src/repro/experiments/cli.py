@@ -76,6 +76,44 @@ def _build_parser():
         help="comma-separated: persephone, shinjuku, concord, "
              "concord-no-steal, coop-sq, coop-jbsq",
     )
+
+    rack_parser = sub.add_parser(
+        "rack",
+        help="run one simulated rack and compare inter-server policies",
+    )
+    rack_parser.add_argument(
+        "--servers", type=int, default=4, help="servers behind the balancer"
+    )
+    rack_parser.add_argument(
+        "--workers", type=int, default=4, help="worker threads per server"
+    )
+    rack_parser.add_argument(
+        "--system", default="concord",
+        help="intra-server mechanism (see 'compare --systems')",
+    )
+    rack_parser.add_argument(
+        "--policies", default="random,rr,jsq,po2,sed",
+        help="comma-separated inter-server policies",
+    )
+    rack_parser.add_argument(
+        "--workload", default="bimodal-50-1-50-100",
+        help="named workload (see repro.workloads.NAMED_WORKLOADS)",
+    )
+    rack_parser.add_argument(
+        "--load-frac", type=float, default=0.75,
+        help="offered load as a fraction of nominal rack capacity",
+    )
+    rack_parser.add_argument(
+        "--requests", type=int, default=8_000, help="arrivals to simulate"
+    )
+    rack_parser.add_argument(
+        "--quantum-us", type=float, default=5.0, help="scheduling quantum"
+    )
+    rack_parser.add_argument(
+        "--staleness-us", type=float, default=0.0,
+        help="extra telemetry report delay (stale-signal knob)",
+    )
+    rack_parser.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -138,6 +176,50 @@ def _run_compare(args, stream):
     return 0
 
 
+def _run_rack(args, stream):
+    from repro.cluster import Cluster, NetworkFabric
+    from repro.hardware import c6420
+    from repro.metrics import format_table
+    from repro.workloads import PoissonProcess, workload_by_name
+
+    workload = workload_by_name(args.workload)
+    machine = c6420(args.workers)
+    rack_capacity = args.servers * args.workers * 1e6 / workload.mean_us()
+    load = args.load_frac * rack_capacity
+    fabric = NetworkFabric(telemetry_staleness_us=args.staleness_us)
+    try:
+        factory = _SYSTEM_FACTORIES[args.system]
+    except KeyError:
+        raise KeyError(
+            "unknown system {!r}; known: {}".format(
+                args.system, ", ".join(sorted(_SYSTEM_FACTORIES))
+            )
+        ) from None
+    rows = []
+    for policy in args.policies.split(","):
+        policy = policy.strip()
+        cluster = Cluster(
+            machine, factory(args.quantum_us), args.servers, policy=policy,
+            seed=args.seed, fabric=fabric,
+        )
+        result = cluster.run(workload, PoissonProcess(load), args.requests)
+        summary = result.summary()
+        rows.append([
+            policy, summary.p50, summary.p99, summary.p999,
+            round(result.imbalance(), 3),
+            "yes" if result.drained else "NO",
+        ])
+    print(format_table(
+        ["policy", "p50", "p99", "p99.9", "imbalance", "drained"],
+        rows,
+        title="{} x{} rack, {} at {:.0f} kRps ({:.0%} of capacity), "
+              "staleness {:g}us".format(
+                  args.system, args.servers, workload.name, load / 1e3,
+                  args.load_frac, args.staleness_us),
+    ), file=stream)
+    return 0
+
+
 def _run_one(experiment_id, quality, seed, out_dir, stream, plot=False):
     started = time.time()
     results = run_experiment(experiment_id, quality=quality, seed=seed)
@@ -177,6 +259,9 @@ def main(argv=None, stream=None):
 
     if args.command == "compare":
         return _run_compare(args, stream)
+
+    if args.command == "rack":
+        return _run_rack(args, stream)
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)

@@ -5,6 +5,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
+    ext_cluster,
     ext_jbsq,
     ext_policies,
     ext_safety,
@@ -97,6 +98,12 @@ EXPERIMENTS = {
         ExperimentSpec(
             "table1", "Instrumentation overhead and timeliness, 24 kernels",
             table1.run,
+        ),
+        ExperimentSpec(
+            "ext-cluster",
+            "Extension: rack-scale inter-server scheduling over Concord "
+            "servers",
+            ext_cluster.run,
         ),
         ExperimentSpec(
             "ext-jbsq", "Extension: JBSQ(k) depth ablation", ext_jbsq.run

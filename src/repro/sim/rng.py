@@ -44,8 +44,46 @@ class RngStreams:
 
         Useful when a sub-simulation (e.g. one load point of a sweep) needs
         its own family of streams.
+
+        .. note:: ``spawn`` *consumes* randomness from the named stream, so
+           its result depends on how much that stream has already been used
+           and on how many times ``spawn`` was called.  New code that needs
+           stable children (e.g. per-server streams in a rack) should use
+           :meth:`spawn_key` instead.
         """
         return RngStreams(self.stream(name).getrandbits(63))
+
+    def spawn_key(self, *key):
+        """Return a child :class:`RngStreams` derived from a stable key.
+
+        The child seed is a pure function of ``(master_seed, key)``: unlike
+        :meth:`spawn` it draws nothing from any stream, so the same key
+        always yields the same child family regardless of call order, call
+        count, or how much the parent's streams have been consumed.  Key
+        parts may be strings or integers and are joined order-sensitively.
+
+        This is how N cluster servers get independent, reproducibly-derived
+        stream families from one master seed:
+
+        >>> master = RngStreams(42)
+        >>> a = master.spawn_key("server", 0)
+        >>> b = master.spawn_key("server", 1)
+        >>> a.master_seed == RngStreams(42).spawn_key("server", 0).master_seed
+        True
+        >>> a.master_seed != b.master_seed
+        True
+        """
+        if not key:
+            raise ValueError("spawn_key needs at least one key part")
+        material = "\x1f".join(str(part) for part in key)
+        # Same construction as per-stream seeds, but domain-separated with a
+        # "spawn:" prefix and an odd offset so a spawned child can never
+        # collide with a sibling stream of the same name.
+        child_seed = (
+            hash_name("spawn:" + material)
+            ^ (self.master_seed * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+        ) & ((1 << 64) - 1)
+        return RngStreams(child_seed)
 
     def __repr__(self):
         return "RngStreams(master_seed={})".format(self.master_seed)

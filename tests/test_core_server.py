@@ -125,6 +125,84 @@ class TestQueueingAgreement:
         assert mean_wait == pytest.approx(expected, rel=0.25)
 
 
+class TestArrivalSeam:
+    """The injectable-arrival refactor: run() is now a thin wrapper over
+    run_source(), and external agents can push requests in via deliver()."""
+
+    def test_run_source_with_explicit_pairs(self):
+        server = Server(c6420(2), persephone_fcfs(), seed=0)
+        pairs = [
+            (float(i * 20), server.request_from_sample(i, "fixed", 1.0))
+            for i in range(50)
+        ]
+        result = server.run_source(iter(pairs), expected=50)
+        assert result.drained
+        assert len(result.records) == 50
+        clock = server.clock
+        for record in result.records:
+            expected_cycle = clock.us_to_cycles(record.rid * 20.0)
+            assert record.arrival_cycle == expected_cycle
+
+    def test_open_loop_source_matches_run(self):
+        # run() must be exactly the default source fed through run_source().
+        direct = run(concord(5.0), bimodal_50_1_50_100(), 150_000, 800, seed=4)
+        server = Server(c6420(14), concord(5.0), seed=4)
+        via_source = server.run_source(
+            server.arrival_source(
+                bimodal_50_1_50_100(), PoissonProcess(150_000), 800
+            ),
+            expected=800,
+        )
+        assert direct.slowdowns() == via_source.slowdowns()
+        assert direct.dispatcher_stats == via_source.dispatcher_stats
+
+    def test_external_delivery_on_shared_simulator(self):
+        # Two servers coexist in one simulation — the seam repro.cluster
+        # plugs into.
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngStreams
+
+        sim = Simulator()
+        master = RngStreams(21)
+        servers = [
+            Server(c6420(2), persephone_fcfs(), sim=sim,
+                   streams=master.spawn_key("server", i))
+            for i in range(2)
+        ]
+        for index, server in enumerate(servers):
+            for i in range(20):
+                request = server.request_from_sample(i, "fixed", 1.0)
+                sim.at(
+                    server.clock.us_to_cycles(5.0 * i + index),
+                    lambda s=server, r=request: s.deliver(r),
+                    "external",
+                )
+        sim.run()
+        for server in servers:
+            assert server.num_delivered == 20
+            assert server.inflight == 0
+            result = server.collect_result()
+            assert result.drained
+            assert len(result.records) == 20
+
+    def test_inflight_tracks_delivered_minus_completed(self):
+        server = Server(c6420(2), persephone_fcfs(), seed=0)
+        assert server.inflight == 0
+        request = server.request_from_sample(0, "fixed", 10.0)
+        server.deliver(request)
+        assert server.inflight == 1
+        server.sim.run()
+        assert server.inflight == 0
+
+    def test_completion_hook_fires_per_request(self):
+        server = Server(c6420(2), persephone_fcfs(), seed=0)
+        seen = []
+        server.on_complete = seen.append
+        server.run(fixed_1us(), PoissonProcess(100_000), 100)
+        assert len(seen) == 100
+        assert {r.rid for r in seen} == set(range(100))
+
+
 class TestJBSQ:
     def test_outstanding_never_exceeds_depth(self):
         config = concord_no_steal(5.0, jbsq_depth=2)

@@ -45,6 +45,59 @@ def test_spawn_children_are_deterministic():
     assert a.stream("z").random() == b.stream("z").random()
 
 
+def test_spawn_key_is_deterministic():
+    a = RngStreams(42).spawn_key("server", 0)
+    b = RngStreams(42).spawn_key("server", 0)
+    assert a.master_seed == b.master_seed
+    assert a.stream("arrivals").random() == b.stream("arrivals").random()
+
+
+def test_spawn_key_children_are_distinct():
+    master = RngStreams(42)
+    seeds = {master.spawn_key("server", i).master_seed for i in range(16)}
+    assert len(seeds) == 16
+    assert master.spawn_key("server", 0).master_seed != \
+        master.spawn_key("balancer").master_seed
+
+
+def test_spawn_key_independent_of_call_order_and_stream_use():
+    # Unlike spawn(), spawn_key draws nothing: consuming streams or
+    # spawning other keys first must not change the child.
+    clean = RngStreams(9).spawn_key("server", 3).master_seed
+    dirty_master = RngStreams(9)
+    dirty_master.stream("arrivals").random()
+    dirty_master.spawn_key("server", 0)
+    dirty_master.spawn("child")
+    assert dirty_master.spawn_key("server", 3).master_seed == clean
+
+
+def test_spawn_key_does_not_consume_stream_randomness():
+    a = RngStreams(5)
+    b = RngStreams(5)
+    a.spawn_key("server", 1)
+    assert a.stream("arrivals").random() == b.stream("arrivals").random()
+
+
+def test_spawn_key_is_order_sensitive_in_parts():
+    master = RngStreams(3)
+    assert master.spawn_key("a", "b").master_seed != \
+        master.spawn_key("b", "a").master_seed
+
+
+def test_spawn_key_distinct_from_same_named_stream():
+    master = RngStreams(11)
+    child = master.spawn_key("arrivals")
+    assert child.stream("arrivals").random() != \
+        master.stream("arrivals").random()
+
+
+def test_spawn_key_requires_a_key():
+    import pytest
+
+    with pytest.raises(ValueError):
+        RngStreams(1).spawn_key()
+
+
 def test_hash_name_is_stable_and_64bit():
     value = hash_name("arrivals")
     assert value == hash_name("arrivals")
