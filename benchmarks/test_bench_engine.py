@@ -1,0 +1,92 @@
+"""Benchmark: raw event-loop throughput.
+
+Guards the simulator hot path (local bindings, hoisted trace branch, lazy-
+cancellation compaction).  Two shapes:
+
+* a plain event chain — the dispatch/completion pattern that dominates
+  every run;
+* a cancellation storm — the quantum-re-arm pattern (every event cancels a
+  decoy timer) that exercises the dead-entry accounting and amortized heap
+  compaction.
+
+The floors are deliberately conservative (shared CI runners); the real
+numbers land in ``BENCH_parallel.json`` via ``test_bench_parallel.py``.
+"""
+
+CHAIN_EVENTS = 100_000
+STORM_EVENTS = 50_000
+MIN_EVENTS_PER_SEC = 50_000
+
+
+def _noop():
+    return None
+
+
+def _event_chain(num_events):
+    """num_events self-rescheduling callbacks, no cancellations."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    remaining = [num_events]
+
+    def step():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.after(10, step)
+
+    sim.at(0, step)
+    sim.run()
+    return sim
+
+
+def _cancellation_storm(num_events):
+    """Every fired event re-arms a decoy timer and cancels the previous
+    one — the preemption-timer pattern that motivated compaction."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    remaining = [num_events]
+    decoy = [None]
+
+    def step():
+        if decoy[0] is not None:
+            decoy[0].cancel()
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            # Far enough out that dead decoys pile up in the heap instead
+            # of being popped past by the advancing clock — compaction,
+            # not pop-and-skip, must reclaim them.
+            decoy[0] = sim.after(10_000_000, _noop)
+            sim.after(10, step)
+
+    sim.at(0, step)
+    sim.run()
+    return sim
+
+
+def _events_per_sec(sim, benchmark):
+    best_seconds = benchmark.stats.stats.min
+    rate = sim.events_run / max(best_seconds, 1e-9)
+    benchmark.extra_info["events_per_sec"] = round(rate)
+    return rate
+
+
+def test_engine_event_chain(benchmark):
+    sim = benchmark.pedantic(
+        _event_chain, args=(CHAIN_EVENTS,), rounds=3, iterations=1
+    )
+    assert sim.events_run == CHAIN_EVENTS
+    assert sim.pending == 0
+    assert _events_per_sec(sim, benchmark) > MIN_EVENTS_PER_SEC
+
+
+def test_engine_cancellation_storm(benchmark):
+    sim = benchmark.pedantic(
+        _cancellation_storm, args=(STORM_EVENTS,), rounds=3, iterations=1
+    )
+    assert sim.events_run == STORM_EVENTS
+    assert sim.events_cancelled == STORM_EVENTS - 1
+    # Compaction kept the heap from accumulating all the dead timers.
+    assert sim.compactions > 0
+    assert sim.heap_size < STORM_EVENTS
+    assert _events_per_sec(sim, benchmark) > MIN_EVENTS_PER_SEC / 2

@@ -41,15 +41,13 @@ def logical_queue_concord(quantum_us=5.0, safety=None, profile=None):
     cooperation driven by a scheduler hyperthread, work stealing for load
     balance, no dispatcher."""
     from repro.core.config import RuntimeConfig
-    from repro.core.preemption import CacheLineCooperation
+    from repro.core.presets import CooperationFactory
 
     return RuntimeConfig(
         name="Concord-logical",
         queue_mode="jbsq",  # unused by this runtime; kept valid
         quantum_us=quantum_us,
-        preemption_factory=lambda machine: CacheLineCooperation(
-            profile=profile, coherence=machine.coherence
-        ),
+        preemption_factory=CooperationFactory(profile=profile),
         safety=safety or _no_safety(),
     )
 

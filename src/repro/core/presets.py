@@ -11,6 +11,9 @@
 * :func:`ideal_single_queue` — the zero-overhead queueing model of Fig. 5.
 """
 
+from dataclasses import dataclass
+from typing import Any, Optional
+
 from repro import constants
 from repro.core.config import NoSafety, RuntimeConfig
 from repro.core.preemption import (
@@ -31,7 +34,68 @@ __all__ = [
     "rdtsc_single_queue",
     "uipi_single_queue",
     "ideal_single_queue",
+    "PostedIPIFactory",
+    "CooperationFactory",
+    "RdtscFactory",
+    "UserIPIFactory",
+    "IdealCooperationFactory",
 ]
+
+
+# Preemption factories are small picklable callables (rather than lambdas)
+# so whole RuntimeConfigs can cross process boundaries: the parallel sweep
+# executor ships (machine, config, workload) jobs to worker processes, and
+# the result cache derives stable content hashes from the factory fields.
+
+
+@dataclass(frozen=True)
+class PostedIPIFactory:
+    """machine -> PostedIPI (Shinjuku's notification path)."""
+
+    def __call__(self, machine):
+        return PostedIPI()
+
+
+@dataclass(frozen=True)
+class CooperationFactory:
+    """machine -> CacheLineCooperation with an optional probe profile."""
+
+    profile: Optional[Any] = None
+
+    def __call__(self, machine):
+        return CacheLineCooperation(
+            profile=self.profile, coherence=machine.coherence
+        )
+
+
+@dataclass(frozen=True)
+class RdtscFactory:
+    """machine -> RdtscSelfPreemption (Compiler Interrupts style)."""
+
+    def __call__(self, machine):
+        return RdtscSelfPreemption()
+
+
+@dataclass(frozen=True)
+class UserIPIFactory:
+    """machine -> UserIPI (Sapphire Rapids user-space IPIs)."""
+
+    def __call__(self, machine):
+        return UserIPI(coherence=machine.coherence)
+
+
+@dataclass(frozen=True)
+class IdealCooperationFactory:
+    """machine -> zero-overhead cooperation lagged by a half-normal notice
+    (the pure queueing model of Fig. 5)."""
+
+    notice_sigma_us: float = 0.0
+
+    def __call__(self, machine):
+        sigma_cycles = machine.clock.us_to_cycles(self.notice_sigma_us)
+        return CacheLineCooperation(
+            notice=HalfNormalNotice(sigma_cycles), proc_overhead=0.0
+        )
 
 
 def shinjuku(quantum_us=5.0, safety=None, policy="fcfs"):
@@ -41,7 +105,7 @@ def shinjuku(quantum_us=5.0, safety=None, policy="fcfs"):
         name="Shinjuku",
         queue_mode="sq",
         quantum_us=quantum_us,
-        preemption_factory=lambda machine: PostedIPI(),
+        preemption_factory=PostedIPIFactory(),
         safety=safety or NoSafety(),
         policy=policy,
     )
@@ -69,9 +133,7 @@ def concord(quantum_us=5.0, jbsq_depth=constants.DEFAULT_JBSQ_DEPTH,
         queue_mode="jbsq",
         jbsq_depth=jbsq_depth,
         quantum_us=quantum_us,
-        preemption_factory=lambda machine: CacheLineCooperation(
-            profile=profile, coherence=machine.coherence
-        ),
+        preemption_factory=CooperationFactory(profile=profile),
         work_conserving_dispatcher=True,
         safety=safety or NoSafety(),
         policy=policy,
@@ -97,9 +159,7 @@ def coop_single_queue(quantum_us=5.0, safety=None, profile=None):
         name="Co-op+SQ",
         queue_mode="sq",
         quantum_us=quantum_us,
-        preemption_factory=lambda machine: CacheLineCooperation(
-            profile=profile, coherence=machine.coherence
-        ),
+        preemption_factory=CooperationFactory(profile=profile),
         safety=safety or NoSafety(),
     )
 
@@ -120,7 +180,7 @@ def rdtsc_single_queue(quantum_us=5.0):
         name="rdtsc-instrumentation",
         queue_mode="sq",
         quantum_us=quantum_us,
-        preemption_factory=lambda machine: RdtscSelfPreemption(),
+        preemption_factory=RdtscFactory(),
     )
 
 
@@ -130,7 +190,7 @@ def uipi_single_queue(quantum_us=5.0):
         name="User-space IPIs",
         queue_mode="sq",
         quantum_us=quantum_us,
-        preemption_factory=lambda machine: UserIPI(coherence=machine.coherence),
+        preemption_factory=UserIPIFactory(),
     )
 
 
@@ -146,17 +206,11 @@ def ideal_single_queue(quantum_us=None, notice_sigma_us=0.0, name=None):
             ideal=True,
         )
 
-    def factory(machine):
-        sigma_cycles = machine.clock.us_to_cycles(notice_sigma_us)
-        return CacheLineCooperation(
-            notice=HalfNormalNotice(sigma_cycles), proc_overhead=0.0
-        )
-
     default = "Preemption N({:g},{:g})".format(quantum_us, notice_sigma_us)
     return RuntimeConfig(
         name=name or default,
         queue_mode="sq",
         quantum_us=quantum_us,
-        preemption_factory=factory,
+        preemption_factory=IdealCooperationFactory(notice_sigma_us),
         ideal=True,
     )

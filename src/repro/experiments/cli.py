@@ -18,6 +18,24 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 __all__ = ["main"]
 
 
+def _add_parallel_args(parser):
+    """--jobs / cache flags shared by the simulation-heavy subcommands."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent simulations (default: "
+             "$REPRO_JOBS or 1; 0 means one per core)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; do not read or write the result cache",
+    )
+
+
 def _build_parser():
     parser = argparse.ArgumentParser(
         prog="concord-repro",
@@ -48,6 +66,7 @@ def _build_parser():
         "--plot", action="store_true",
         help="render each multi-column result as an ASCII chart too",
     )
+    _add_parallel_args(run_parser)
 
     compare_parser = sub.add_parser(
         "compare",
@@ -76,6 +95,7 @@ def _build_parser():
         help="comma-separated: persephone, shinjuku, concord, "
              "concord-no-steal, coop-sq, coop-jbsq",
     )
+    _add_parallel_args(compare_parser)
 
     rack_parser = sub.add_parser(
         "rack",
@@ -114,7 +134,20 @@ def _build_parser():
         help="extra telemetry report delay (stale-signal knob)",
     )
     rack_parser.add_argument("--seed", type=int, default=1)
+    _add_parallel_args(rack_parser)
     return parser
+
+
+def _build_runner(args):
+    """A ParallelRunner from the shared --jobs / cache flags."""
+    from repro.parallel import ParallelRunner, ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        return ParallelRunner(jobs=args.jobs, cache=cache)
+    except ValueError as exc:  # e.g. REPRO_JOBS=garbage in the environment
+        print("concord-repro: error: {}".format(exc), file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 _SYSTEM_FACTORIES = {
@@ -134,11 +167,12 @@ def _presets():
 
 
 def _run_compare(args, stream):
-    from repro.core.server import Server
     from repro.hardware import c6420
-    from repro.metrics import format_table, summarize_slowdowns
-    from repro.workloads import PoissonProcess, workload_by_name
+    from repro.metrics import format_table
+    from repro.parallel import ServerJob
+    from repro.workloads import workload_by_name
 
+    runner = _build_runner(args)
     workload = workload_by_name(args.workload)
     machine = c6420(args.workers)
     load = (
@@ -146,7 +180,7 @@ def _run_compare(args, stream):
         if args.load_krps is not None
         else 0.6 * machine.num_workers * 1e6 / workload.mean_us()
     )
-    rows = []
+    jobs = []
     for name in args.systems.split(","):
         name = name.strip()
         try:
@@ -157,15 +191,19 @@ def _run_compare(args, stream):
                     name, ", ".join(sorted(_SYSTEM_FACTORIES))
                 )
             ) from None
-        config = factory(args.quantum_us)
-        server = Server(machine, config, seed=args.seed)
-        result = server.run(workload, PoissonProcess(load), args.requests)
-        summary = summarize_slowdowns(result.slowdowns())
+        jobs.append(ServerJob(
+            machine=machine, config=factory(args.quantum_us),
+            workload=workload, load_rps=load, num_requests=args.requests,
+            seed=args.seed,
+        ))
+    rows = []
+    for outcome in runner.map(jobs):
         rows.append([
-            config.name, summary.p50, summary.p99, summary.p999,
-            "yes" if summary.meets_slo() else "NO",
-            round(result.dispatcher_utilization(), 3),
-            result.dispatcher_stats["steal_completions"],
+            outcome["name"], outcome["p50"], outcome["p99"],
+            outcome["p999"],
+            "yes" if outcome["meets_slo"] else "NO",
+            round(outcome["dispatcher_utilization"], 3),
+            outcome["steal_completions"],
         ])
     print(format_table(
         ["system", "p50", "p99", "p99.9", "SLO met", "disp util", "stolen"],
@@ -177,11 +215,13 @@ def _run_compare(args, stream):
 
 
 def _run_rack(args, stream):
-    from repro.cluster import Cluster, NetworkFabric
+    from repro.cluster import NetworkFabric
     from repro.hardware import c6420
     from repro.metrics import format_table
-    from repro.workloads import PoissonProcess, workload_by_name
+    from repro.parallel import RackJob
+    from repro.workloads import workload_by_name
 
+    runner = _build_runner(args)
     workload = workload_by_name(args.workload)
     machine = c6420(args.workers)
     rack_capacity = args.servers * args.workers * 1e6 / workload.mean_us()
@@ -195,19 +235,22 @@ def _run_rack(args, stream):
                 args.system, ", ".join(sorted(_SYSTEM_FACTORIES))
             )
         ) from None
-    rows = []
-    for policy in args.policies.split(","):
-        policy = policy.strip()
-        cluster = Cluster(
-            machine, factory(args.quantum_us), args.servers, policy=policy,
-            seed=args.seed, fabric=fabric,
+    policies = [p.strip() for p in args.policies.split(",")]
+    outcomes = runner.map([
+        RackJob(
+            machine=machine, config=factory(args.quantum_us),
+            num_servers=args.servers, policy=policy, workload=workload,
+            load_rps=load, num_requests=args.requests, seed=args.seed,
+            fabric=fabric,
         )
-        result = cluster.run(workload, PoissonProcess(load), args.requests)
-        summary = result.summary()
+        for policy in policies
+    ])
+    rows = []
+    for policy, outcome in zip(policies, outcomes):
         rows.append([
-            policy, summary.p50, summary.p99, summary.p999,
-            round(result.imbalance(), 3),
-            "yes" if result.drained else "NO",
+            policy, outcome["p50"], outcome["p99"], outcome["p999"],
+            round(outcome["imbalance"], 3),
+            "yes" if outcome["drained"] else "NO",
         ])
     print(format_table(
         ["policy", "p50", "p99", "p99.9", "imbalance", "drained"],
@@ -220,9 +263,12 @@ def _run_rack(args, stream):
     return 0
 
 
-def _run_one(experiment_id, quality, seed, out_dir, stream, plot=False):
+def _run_one(experiment_id, quality, seed, out_dir, stream, plot=False,
+             runner=None):
     started = time.time()
-    results = run_experiment(experiment_id, quality=quality, seed=seed)
+    results = run_experiment(
+        experiment_id, quality=quality, seed=seed, runner=runner
+    )
     elapsed = time.time() - started
     chunks = [result.render() for result in results]
     if plot:
@@ -265,13 +311,22 @@ def main(argv=None, stream=None):
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
+    runner = _build_runner(args)
     if args.experiment == "all":
         for eid in sorted(EXPERIMENTS):
             _run_one(eid, args.quality, args.seed, args.out, stream,
-                     plot=args.plot)
+                     plot=args.plot, runner=runner)
     else:
         _run_one(args.experiment, args.quality, args.seed, args.out, stream,
-                 plot=args.plot)
+                 plot=args.plot, runner=runner)
+    if runner.cache is not None and (runner.cache.hits or runner.cache.stores):
+        print(
+            "  [cache: {} hits, {} new entries in {}]".format(
+                runner.cache.hits, runner.cache.stores,
+                runner.cache.cache_dir,
+            ),
+            file=stream,
+        )
     return 0
 
 

@@ -86,6 +86,15 @@ def load_grid(max_load_rps, points, low_fraction=0.25, high_fraction=1.0):
     denser near saturation where the knee lives."""
     if points < 2:
         raise ValueError("need at least two load points")
+    if max_load_rps <= 0:
+        raise ValueError(
+            "max_load_rps must be positive, got {!r}".format(max_load_rps)
+        )
+    if not low_fraction < high_fraction:
+        raise ValueError(
+            "load grid needs low_fraction < high_fraction, got "
+            "low={!r} high={!r}".format(low_fraction, high_fraction)
+        )
     grid = []
     for i in range(points):
         # Quadratic spacing: more resolution near the top of the range.
@@ -98,16 +107,34 @@ def load_grid(max_load_rps, points, low_fraction=0.25, high_fraction=1.0):
 
 
 def sweep_systems(machine, configs, workload, loads, num_requests, seed=1,
-                  warmup_frac=0.1, profile=None, arrival_factory=None):
+                  warmup_frac=0.1, profile=None, arrival_factory=None,
+                  runner=None):
     """Run a load sweep for each configuration (common random numbers) and
-    return ``{config_name: LoadSweep}`` preserving config order."""
+    return ``{config_name: LoadSweep}`` preserving config order.
+
+    All (config x load) cells are independent simulations, so they are
+    submitted to the runner (default: the process-wide one, see
+    :func:`repro.parallel.get_default_runner`) as **one** batch — with
+    ``--jobs N`` the whole figure fans out at once rather than one
+    config at a time.  Results are bit-identical to serial execution.
+    """
+    from repro.parallel import get_default_runner
+
+    if runner is None:
+        runner = get_default_runner()
+    loads = list(loads)
     sweeps = {}
     for config in configs:
-        sweep = LoadSweep(
+        sweeps[config.name] = LoadSweep(
             machine, config, workload, num_requests=num_requests, seed=seed,
             warmup_frac=warmup_frac, profile=profile,
             arrival_factory=arrival_factory,
         )
-        sweep.run(loads)
-        sweeps[config.name] = sweep
+    jobs = [
+        sweeps[config.name].job(load) for config in configs for load in loads
+    ]
+    points = runner.map(jobs)
+    for c, config in enumerate(configs):
+        chunk = points[c * len(loads):(c + 1) * len(loads)]
+        sweeps[config.name].points.extend(chunk)
     return sweeps

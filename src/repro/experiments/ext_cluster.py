@@ -16,11 +16,11 @@ measures the rack-wide p99 slowdown:
   the fabric's report-delay knob.
 """
 
-from repro.cluster import Cluster, NetworkFabric
+from repro.cluster import NetworkFabric
 from repro.core import concord, persephone_fcfs, shinjuku
 from repro.experiments.common import ExperimentResult, scale_for
 from repro.hardware import c6420
-from repro.workloads.arrivals import PoissonProcess
+from repro.parallel import RackJob, get_default_runner
 from repro.workloads.named import bimodal_50_1_50_100
 
 QUANTUM_US = 5.0
@@ -41,17 +41,9 @@ def _mechanisms():
     ]
 
 
-def _rack_p99(machine, config, num_servers, policy, workload, load_rps,
-              num_requests, seed, fabric=None):
-    cluster = Cluster(
-        machine, config, num_servers, policy=policy, seed=seed,
-        fabric=fabric,
-    )
-    result = cluster.run(workload, PoissonProcess(load_rps), num_requests)
-    return result.summary().p99, result
-
-
-def run(quality="standard", seed=1):
+def run(quality="standard", seed=1, runner=None):
+    if runner is None:
+        runner = get_default_runner()
     scale = scale_for(quality)
     num_servers = RACK_SIZES.get(quality, 4)
     machine = c6420(WORKERS_PER_SERVER)
@@ -72,16 +64,33 @@ def run(quality="standard", seed=1):
         headers=["load_frac", "policy"]
                 + ["{} p99".format(name) for name, _ in mechanisms],
     )
+    # Every rack run is independent: submit the whole (load x policy x
+    # mechanism) cube as one batch so --jobs fans it out across cores.
+    cells = [
+        (fraction, policy, mech_name, config)
+        for fraction in LOAD_FRACTIONS
+        for policy in POLICIES
+        for mech_name, config in mechanisms
+    ]
+    outcomes = runner.map([
+        RackJob(
+            machine=machine, config=config, num_servers=num_servers,
+            policy=policy, workload=workload,
+            load_rps=fraction * rack_capacity, num_requests=n, seed=seed,
+        )
+        for fraction, policy, mech_name, config in cells
+    ])
+    p99_by_cell = {
+        (fraction, policy, mech_name): outcome["p99"]
+        for (fraction, policy, mech_name, _), outcome
+        in zip(cells, outcomes)
+    }
     p99_at_top = {}
     for fraction in LOAD_FRACTIONS:
-        load = fraction * rack_capacity
         for policy in POLICIES:
             row = [fraction, policy]
-            for mech_name, config in mechanisms:
-                p99, _ = _rack_p99(
-                    machine, config, num_servers, policy, workload, load,
-                    n, seed,
-                )
+            for mech_name, _config in mechanisms:
+                p99 = p99_by_cell[(fraction, policy, mech_name)]
                 row.append(round(p99, 2))
                 if fraction == LOAD_FRACTIONS[-1]:
                     p99_at_top[(mech_name, policy)] = p99
@@ -114,22 +123,25 @@ def run(quality="standard", seed=1):
         headers=["staleness_us", "p99", "p999", "imbalance"],
     )
     load = 0.75 * rack_capacity
+    stale_outcomes = runner.map([
+        RackJob(
+            machine=machine, config=concord(QUANTUM_US),
+            num_servers=num_servers, policy="sed", workload=workload,
+            load_rps=load, num_requests=n, seed=seed,
+            fabric=NetworkFabric(telemetry_staleness_us=stale_us),
+        )
+        for stale_us in STALENESS_GRID_US
+    ])
     previous = None
     monotone = True
-    for stale_us in STALENESS_GRID_US:
-        fabric = NetworkFabric(telemetry_staleness_us=stale_us)
-        p99, result = _rack_p99(
-            machine, concord(QUANTUM_US), num_servers, "sed", workload,
-            load, n, seed, fabric=fabric,
-        )
-        summary = result.summary()
+    for stale_us, outcome in zip(STALENESS_GRID_US, stale_outcomes):
         staleness.add_row(
-            stale_us, round(summary.p99, 2), round(summary.p999, 2),
-            round(result.imbalance(), 3),
+            stale_us, round(outcome["p99"], 2), round(outcome["p999"], 2),
+            round(outcome["imbalance"], 3),
         )
-        if previous is not None and p99 < previous:
+        if previous is not None and outcome["p99"] < previous:
             monotone = False
-        previous = p99
+        previous = outcome["p99"]
     staleness.summary["degradation_monotone"] = monotone
     staleness.note(
         "RackSched's stale-signal effect: the queue signal ages past the "

@@ -15,18 +15,19 @@ def slowdown_vs_load(experiment_id, title, machine, configs, workload,
                      max_load_rps, quality="standard", seed=1,
                      low_fraction=0.25, high_fraction=1.0, baseline=None,
                      contender=None, slo=constants.SLOWDOWN_SLO,
-                     profile=None):
+                     profile=None, runner=None):
     """Run each config across a load grid; report p99.9 curves and knees.
 
     ``baseline``/``contender`` name two configs whose knee ratio is the
     figure's headline ("Concord sustains X% greater throughput").
+    ``runner`` overrides the process-wide parallel runner for the sweep.
     """
     scale = scale_for(quality)
     loads = load_grid(max_load_rps, scale.load_points, low_fraction,
                       high_fraction)
     sweeps = sweep_systems(
         machine, configs, workload, loads, scale.num_requests, seed=seed,
-        profile=profile,
+        profile=profile, runner=runner,
     )
     result = ExperimentResult(
         experiment_id=experiment_id,

@@ -38,7 +38,15 @@ class ExperimentSpec:
     description: str
     run: Callable
 
-    def __call__(self, quality="standard", seed=1):
+    def __call__(self, quality="standard", seed=1, runner=None):
+        if runner is not None:
+            # Sweeps inside the experiment pick the runner up ambiently, so
+            # --jobs/--cache-dir reach every figure without threading a
+            # parameter through each run() signature.
+            from repro.parallel import using_runner
+
+            with using_runner(runner):
+                return as_result_list(self.run(quality=quality, seed=seed))
         return as_result_list(self.run(quality=quality, seed=seed))
 
 
@@ -136,6 +144,12 @@ def experiment_by_id(experiment_id):
         ) from None
 
 
-def run_experiment(experiment_id, quality="standard", seed=1):
-    """Run one experiment; returns a list of ExperimentResult."""
-    return experiment_by_id(experiment_id)(quality=quality, seed=seed)
+def run_experiment(experiment_id, quality="standard", seed=1, runner=None):
+    """Run one experiment; returns a list of ExperimentResult.
+
+    ``runner`` (a :class:`repro.parallel.ParallelRunner`) parallelizes and/
+    or caches the experiment's sweeps; None keeps the process default.
+    """
+    return experiment_by_id(experiment_id)(
+        quality=quality, seed=seed, runner=runner
+    )

@@ -15,7 +15,7 @@ from repro.core.server import Server
 from repro.metrics.slowdown import summarize_slowdowns
 from repro.workloads.arrivals import PoissonProcess
 
-__all__ = ["SweepPoint", "LoadSweep", "knee_load"]
+__all__ = ["SweepPoint", "LoadSweep", "knee_load", "run_sweep_point"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,35 @@ class SweepPoint:
     worker_idle_fraction: float
     steals: int
     completed: int
+
+
+def run_sweep_point(machine, config, workload, load_rps, num_requests,
+                    seed=1, warmup_frac=0.1, profile=None,
+                    arrival_factory=None):
+    """Simulate one (config, offered load) point and return its
+    :class:`SweepPoint`.
+
+    This is the unit of work the parallel executor ships to worker
+    processes; it is a pure function of its arguments (a fresh server is
+    built from ``seed``), which is what makes parallel sweeps bit-identical
+    to serial ones.
+    """
+    factory = arrival_factory or PoissonProcess
+    server = Server(machine, config, seed=seed, profile=profile)
+    result = server.run(workload, factory(load_rps), num_requests)
+    summary = summarize_slowdowns(result.slowdowns(warmup_frac))
+    return SweepPoint(
+        load_rps=load_rps,
+        p50=summary.p50,
+        p99=summary.p99,
+        p999=summary.p999,
+        mean=summary.mean,
+        throughput_rps=result.throughput_rps(),
+        dispatcher_utilization=result.dispatcher_utilization(),
+        worker_idle_fraction=result.worker_idle_fraction(),
+        steals=result.dispatcher_stats["steals_started"],
+        completed=len(result.records),
+    )
 
 
 class LoadSweep:
@@ -69,33 +98,46 @@ class LoadSweep:
         self.arrival_factory = arrival_factory or PoissonProcess
         self.points = []
 
+    def job(self, load_rps):
+        """The picklable :class:`~repro.parallel.SimJob` for one load."""
+        from repro.parallel import SimJob
+
+        return SimJob(
+            machine=self.machine,
+            config=self.config,
+            workload=self.workload,
+            load_rps=load_rps,
+            num_requests=self.num_requests,
+            seed=self.seed,
+            warmup_frac=self.warmup_frac,
+            profile=self.profile,
+            arrival_factory=self.arrival_factory,
+        )
+
     def run_point(self, load_rps):
         """Simulate one offered load and append/return its SweepPoint."""
-        server = Server(self.machine, self.config, seed=self.seed,
-                        profile=self.profile)
-        result = server.run(
-            self.workload, self.arrival_factory(load_rps), self.num_requests
-        )
-        summary = summarize_slowdowns(result.slowdowns(self.warmup_frac))
-        point = SweepPoint(
-            load_rps=load_rps,
-            p50=summary.p50,
-            p99=summary.p99,
-            p999=summary.p999,
-            mean=summary.mean,
-            throughput_rps=result.throughput_rps(),
-            dispatcher_utilization=result.dispatcher_utilization(),
-            worker_idle_fraction=result.worker_idle_fraction(),
-            steals=result.dispatcher_stats["steals_started"],
-            completed=len(result.records),
+        point = run_sweep_point(
+            self.machine, self.config, self.workload, load_rps,
+            self.num_requests, seed=self.seed, warmup_frac=self.warmup_frac,
+            profile=self.profile, arrival_factory=self.arrival_factory,
         )
         self.points.append(point)
         return point
 
-    def run(self, loads_rps):
-        """Simulate every load in ``loads_rps`` (ascending recommended)."""
-        for load in loads_rps:
-            self.run_point(load)
+    def run(self, loads_rps, runner=None):
+        """Simulate every load in ``loads_rps`` (ascending recommended).
+
+        With a :class:`~repro.parallel.ParallelRunner`, points are fanned
+        out across worker processes (and/or served from the result cache);
+        each point is an independent simulation seeded only by
+        ``(seed, load)``, so results are bit-identical to the serial path.
+        """
+        loads_rps = list(loads_rps)
+        if runner is None:
+            for load in loads_rps:
+                self.run_point(load)
+        else:
+            self.points.extend(runner.map([self.job(l) for l in loads_rps]))
         return self.points
 
     def knee(self, slo=constants.SLOWDOWN_SLO):

@@ -1,0 +1,49 @@
+"""Parallel sweep execution: process-pool fan-out of independent
+simulation jobs with a content-addressed result cache.
+
+Three layers:
+
+* :mod:`repro.parallel.jobs` — picklable job specs (:class:`SimJob`,
+  :class:`ServerJob`, :class:`RackJob`) whose ``run()`` is a pure function
+  of their fields;
+* :mod:`repro.parallel.runner` — :class:`ParallelRunner`, which maps jobs
+  across a process pool (or in-process when ``jobs=1`` / pickling fails)
+  and returns results bit-identical to serial execution;
+* :mod:`repro.parallel.cache` — :class:`ResultCache`, keyed by a stable
+  hash of (machine, config, workload, arrival process, seed, request
+  count, code version), so re-running ``run all`` only re-simulates what
+  changed.
+"""
+
+from repro.parallel.cache import (
+    ResultCache,
+    UncacheableValue,
+    code_fingerprint,
+    default_cache_dir,
+    stable_describe,
+)
+from repro.parallel.jobs import RackJob, ServerJob, SimJob, execute_job
+from repro.parallel.runner import (
+    ParallelRunner,
+    get_default_runner,
+    resolve_jobs,
+    set_default_runner,
+    using_runner,
+)
+
+__all__ = [
+    "SimJob",
+    "ServerJob",
+    "RackJob",
+    "execute_job",
+    "ParallelRunner",
+    "resolve_jobs",
+    "get_default_runner",
+    "set_default_runner",
+    "using_runner",
+    "ResultCache",
+    "UncacheableValue",
+    "stable_describe",
+    "code_fingerprint",
+    "default_cache_dir",
+]

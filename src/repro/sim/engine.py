@@ -6,11 +6,24 @@ number so execution order is deterministic and FIFO among same-time events.
 
 The heap stores ``(time, seq, event)`` tuples so ordering comparisons run as
 C-level tuple compares — this loop is the hottest code in the package.
+
+Cancellation is lazy (the heap entry stays put and is skipped when popped),
+but no longer unbounded: the simulator counts dead entries still in the heap
+and compacts in place once they exceed :data:`COMPACT_MIN_DEAD` *and* make
+up more than half the heap.  Preemption-heavy runs (every quantum re-arm
+cancels the previous timer) would otherwise carry thousands of dead tuples
+through every sift.
 """
 
 import heapq
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "COMPACT_MIN_DEAD"]
+
+#: Compaction never triggers below this many dead heap entries; above it,
+#: the heap is rebuilt whenever dead entries outnumber live ones.  The scan
+#: is O(heap) and removes >= half the entries, so total compaction work is
+#: amortized O(1) per cancellation.
+COMPACT_MIN_DEAD = 256
 
 
 class SimulationError(RuntimeError):
@@ -23,20 +36,30 @@ class Event:
     Events are created through :meth:`Simulator.schedule` (or the ``at`` /
     ``after`` convenience wrappers) and may be cancelled before firing.
     Cancellation is lazy: the heap entry stays put and is discarded when
-    popped.
+    popped (or swept out by heap compaction).
     """
 
-    __slots__ = ("time", "callback", "name", "cancelled")
+    __slots__ = ("time", "callback", "name", "cancelled", "_sim")
 
-    def __init__(self, time, callback, name):
+    def __init__(self, time, callback, name, sim=None):
         self.time = time
         self.callback = callback
         self.name = name
         self.cancelled = False
+        # Back-reference for cancellation accounting; detached (set to
+        # None) once the event leaves the heap, so late cancels of already
+        # fired events stay cheap and don't skew the dead-entry count.
+        self._sim = sim
 
     def cancel(self):
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancel()
 
     def __repr__(self):
         state = " cancelled" if self.cancelled else ""
@@ -59,6 +82,9 @@ class Simulator:
         self._seq = 0
         self._trace = trace
         self._events_run = 0
+        self._events_cancelled = 0
+        self._dead_in_heap = 0
+        self._compactions = 0
         self._running = False
 
     # -- scheduling ---------------------------------------------------------
@@ -75,7 +101,7 @@ class Simulator:
                     name, time, self.now
                 )
             )
-        event = Event(time, callback, name)
+        event = Event(time, callback, name, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, event))
         return event
@@ -92,15 +118,44 @@ class Simulator:
             )
         return self.schedule(self.now + int(delay), callback, name)
 
+    # -- cancellation accounting -------------------------------------------
+
+    def _note_cancel(self):
+        """A live heap entry was just cancelled; compact if dead entries
+        dominate."""
+        self._events_cancelled += 1
+        dead = self._dead_in_heap + 1
+        self._dead_in_heap = dead
+        if dead >= COMPACT_MIN_DEAD and dead * 2 >= len(self._heap):
+            self.compact()
+
+    def compact(self):
+        """Rebuild the heap without cancelled entries, in place.
+
+        In-place (slice assignment) so aliases of the heap list held by a
+        running :meth:`run` loop stay valid.  Relative order of live events
+        is untouched: entries keep their ``(time, seq)`` keys.
+        """
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2].cancelled]
+        if len(live) != len(heap):
+            heap[:] = live
+            heapq.heapify(heap)
+        self._dead_in_heap = 0
+        self._compactions += 1
+
     # -- execution ------------------------------------------------------------
 
     def step(self):
         """Run the next pending event.  Returns False when the heap is empty."""
         heap = self._heap
+        pop = heapq.heappop
         while heap:
-            time, _seq, event = heapq.heappop(heap)
+            time, _seq, event = pop(heap)
             if event.cancelled:
+                self._dead_in_heap -= 1
                 continue
+            event._sim = None
             self.now = time
             if self._trace is not None:
                 self._trace(time, event.name)
@@ -123,15 +178,30 @@ class Simulator:
         trace = self._trace
         executed = 0
         try:
-            if until is None and max_events is None and trace is None:
-                # Hot path: drain everything with minimal bookkeeping.
-                while heap:
-                    time, _seq, event = pop(heap)
-                    if event.cancelled:
-                        continue
-                    self.now = time
-                    event.callback()
-                    executed += 1
+            if until is None and max_events is None:
+                # Hot path: drain everything with minimal bookkeeping (no
+                # bound checks; the trace branch is hoisted out of the loop).
+                if trace is None:
+                    while heap:
+                        time, _seq, event = pop(heap)
+                        if event.cancelled:
+                            self._dead_in_heap -= 1
+                            continue
+                        event._sim = None
+                        self.now = time
+                        event.callback()
+                        executed += 1
+                else:
+                    while heap:
+                        time, _seq, event = pop(heap)
+                        if event.cancelled:
+                            self._dead_in_heap -= 1
+                            continue
+                        event._sim = None
+                        self.now = time
+                        trace(time, event.name)
+                        event.callback()
+                        executed += 1
                 self._events_run += executed
                 return executed
             while heap:
@@ -140,16 +210,22 @@ class Simulator:
                 head = heap[0]
                 if head[2].cancelled:
                     pop(heap)
+                    self._dead_in_heap -= 1
                     continue
                 if until is not None and head[0] > until:
                     self.now = int(until)
                     break
-                if not self.step():
-                    break
+                time, _seq, event = pop(heap)
+                event._sim = None
+                self.now = time
+                if trace is not None:
+                    trace(time, event.name)
+                event.callback()
                 executed += 1
             else:
                 if until is not None and until > self.now:
                     self.now = int(until)
+            self._events_run += executed
         finally:
             self._running = False
         return executed
@@ -158,16 +234,38 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._heap) - self._dead_in_heap
 
     @property
     def events_run(self):
         """Total events executed over the simulator's lifetime."""
         return self._events_run
 
+    @property
+    def events_cancelled(self):
+        """Total events cancelled (before firing) over the lifetime."""
+        return self._events_cancelled
+
+    @property
+    def heap_size(self):
+        """Raw heap entries, live plus not-yet-swept cancelled ones."""
+        return len(self._heap)
+
+    @property
+    def dead_in_heap(self):
+        """Cancelled entries still occupying heap slots."""
+        return self._dead_in_heap
+
+    @property
+    def compactions(self):
+        """Times the heap was rebuilt to shed cancelled entries."""
+        return self._compactions
+
     def peek_time(self):
         """Timestamp of the next live event, or None if the heap is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._dead_in_heap -= 1
+        return heap[0][0] if heap else None

@@ -92,6 +92,18 @@ class TestCommonInfra:
         with pytest.raises(ValueError):
             load_grid(1000.0, 1)
 
+    def test_load_grid_rejects_nonpositive_max_load(self):
+        with pytest.raises(ValueError):
+            load_grid(0.0, 4)
+        with pytest.raises(ValueError):
+            load_grid(-100.0, 4)
+
+    def test_load_grid_rejects_inverted_fractions(self):
+        with pytest.raises(ValueError):
+            load_grid(1000.0, 4, low_fraction=0.9, high_fraction=0.5)
+        with pytest.raises(ValueError):
+            load_grid(1000.0, 4, low_fraction=0.5, high_fraction=0.5)
+
     def test_experiment_result_render_summary_and_notes(self):
         result = ExperimentResult("x", "demo", headers=["a"], rows=[[1]])
         result.summary["knee"] = 12.5

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import COMPACT_MIN_DEAD, SimulationError, Simulator
 
 
 def test_events_fire_in_time_order():
@@ -150,6 +150,110 @@ def test_events_run_counter():
         sim.at(t, lambda: None)
     sim.run()
     assert sim.events_run == 5
+
+
+class TestCancellationAccounting:
+    """Lazy cancellation is now counted and amortized away by compaction."""
+
+    def test_events_cancelled_and_dead_in_heap(self):
+        sim = Simulator()
+        events = [sim.at(t, lambda: None) for t in range(1, 11)]
+        for event in events[:4]:
+            event.cancel()
+        assert sim.events_cancelled == 4
+        assert sim.dead_in_heap == 4
+        assert sim.heap_size == 10
+        assert sim.pending == 6
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        event = sim.at(5, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.events_cancelled == 1
+        assert sim.dead_in_heap == 1
+
+    def test_cancel_after_fire_does_not_skew_accounting(self):
+        sim = Simulator()
+        event = sim.at(1, lambda: None)
+        sim.run()
+        event.cancel()
+        assert event.cancelled
+        assert sim.events_cancelled == 0
+        assert sim.dead_in_heap == 0
+
+    def test_popped_dead_entries_drain_the_counter(self):
+        sim = Simulator()
+        for t in range(1, 6):
+            event = sim.at(t, lambda: None)
+            if t % 2 == 0:
+                event.cancel()
+        assert sim.dead_in_heap == 2
+        sim.run()
+        assert sim.dead_in_heap == 0
+        assert sim.heap_size == 0
+        assert sim.events_run == 3
+
+    def test_explicit_compact_preserves_live_events(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 21):
+            event = sim.at(t, lambda t=t: fired.append(t))
+            if t % 2 == 0:
+                event.cancel()
+        sim.compact()
+        assert sim.heap_size == 10
+        assert sim.dead_in_heap == 0
+        sim.run()
+        assert fired == list(range(1, 21, 2))
+
+    def test_compaction_storm_never_drops_live_events(self):
+        """A cancellation storm triggers automatic compaction; every live
+        event must still fire, in timestamp order."""
+        sim = Simulator()
+        fired = []
+        survivors = []
+        for t in range(1, 2001):
+            event = sim.at(t, lambda t=t: fired.append(t))
+            if t % 4 != 0:
+                event.cancel()  # 1500 cancellations >> COMPACT_MIN_DEAD
+            else:
+                survivors.append(t)
+        assert sim.events_cancelled == 1500
+        assert sim.compactions >= 1
+        # Compaction already swept most dead entries out of the heap.
+        assert sim.heap_size < 2000
+        assert sim.pending == len(survivors)
+        sim.run()
+        assert fired == survivors
+        assert sim.events_run == len(survivors)
+
+    def test_compaction_during_run_is_alias_safe(self):
+        """compact() rewrites the heap in place while run() holds a local
+        alias to it; live events scheduled after the storm must still fire."""
+        sim = Simulator()
+        fired = []
+        doomed = []
+
+        def storm():
+            for event in doomed:
+                event.cancel()
+
+        sim.at(0, storm)
+        for t in range(1, 2 * COMPACT_MIN_DEAD + 1):
+            doomed.append(sim.at(10 + t, lambda: fired.append("dead")))
+        sim.at(5000, lambda: fired.append("alive"))
+        sim.run()
+        assert sim.compactions >= 1
+        assert fired == ["alive"]
+        assert sim.now == 5000
+
+    def test_small_cancel_counts_do_not_compact(self):
+        sim = Simulator()
+        for t in range(1, COMPACT_MIN_DEAD):
+            sim.at(t, lambda: None).cancel()
+        assert sim.compactions == 0
+        assert sim.dead_in_heap == COMPACT_MIN_DEAD - 1
 
 
 class TestAgent:
