@@ -1,0 +1,160 @@
+"""``repro-san``: the determinism & purity sanitizer CLI.
+
+Examples::
+
+    repro-san src/repro                    # lint + certify, text report
+    repro-san --format json --output repro-san.json src/repro
+    repro-san --rules DET001,DET003 src/repro/cluster
+    repro-san --list-rules
+    repro-san --no-certify tests           # rules only, any tree
+
+Exit status is non-zero on any unsuppressed ERROR finding, or — when
+certification runs — on a failed purity certificate for the parallel
+job entry points (``--entry`` overrides which).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.effects import (
+    DEFAULT_ENTRY_POINTS,
+    EffectAnalysis,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import ERROR, all_rules, rules_by_code, run_rules
+from repro.analysis.source import discover_sources
+
+__all__ = ["main", "sanitize"]
+
+
+def _default_target():
+    """The installed ``repro`` package itself."""
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
+def sanitize(paths, rules=None, certify=True, entries=None):
+    """Run the sanitizer over ``paths``.
+
+    Returns ``(sources, findings, certificate)`` where ``certificate``
+    is None when certification is disabled or no entry point lives in
+    the analysed tree.
+    """
+    sources = []
+    for path in paths:
+        sources.extend(discover_sources(path))
+    findings = run_rules(sources, rules=rules)
+    certificate = None
+    if certify:
+        entries = tuple(entries) if entries else DEFAULT_ENTRY_POINTS
+        analysis = EffectAnalysis(sources)
+        present = [e for e in entries if e in analysis.functions]
+        if present or entries != DEFAULT_ENTRY_POINTS:
+            certificate = analysis.certify(entries=entries)
+    return sources, findings, certificate
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-san",
+        description="Whole-codebase determinism & purity sanitizer: lint "
+                    "rules plus an interprocedural effect analysis that "
+                    "certifies the parallel job entry points sim-pure.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="package directories or files to analyse "
+             "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the report to FILE",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--entry", action="append", metavar="MODULE:QUALNAME",
+        help="purity-certificate entry point (repeatable; default: the "
+             "three parallel job run() methods)",
+    )
+    parser.add_argument(
+        "--no-certify", action="store_true",
+        help="skip the interprocedural purity certificate",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print("{}  {:7}  {}".format(
+                rule.code, rule.severity, rule.title
+            ))
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = rules_by_code(
+                [code.strip() for code in args.rules.split(",")]
+            )
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+
+    paths = args.paths or [_default_target()]
+    try:
+        sources, findings, certificate = sanitize(
+            paths,
+            rules=rules,
+            certify=not args.no_certify,
+            entries=args.entry,
+        )
+    except (FileNotFoundError, SyntaxError) as exc:
+        print("repro-san: error: {}".format(exc), file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = render_json(findings, sources, certificate)
+    else:
+        text = render_text(
+            findings, sources, certificate,
+            show_suppressed=args.show_suppressed,
+        )
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+
+    errors = [
+        f for f in findings
+        if f.severity == ERROR and not f.suppressed
+    ]
+    if errors:
+        print(
+            "repro-san: {} unsuppressed error finding(s)".format(
+                len(errors)
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    if certificate is not None and not certificate.ok:
+        print("repro-san: purity certificate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

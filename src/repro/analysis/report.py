@@ -1,0 +1,150 @@
+"""Text and JSON reporters for sanitizer findings and certificates.
+
+The text form is for humans and CI logs; the JSON form (schema below) is
+the machine artifact CI uploads and the regression tests diff against::
+
+    {
+      "schema": 1,
+      "findings": [{rule, severity, path, module, line, col, message,
+                    suppressed, suppress_reason}, ...],
+      "summary": {"errors": N, "warnings": N, "suppressed": N,
+                  "files": N},
+      "certificate": {"ok": bool, "forbidden": [...],
+                      "analyzed_modules": N, "analyzed_functions": N,
+                      "entries": [{entry, found, pure, effects,
+                                   violations, reachable, externals,
+                                   witnesses}, ...]}
+    }
+"""
+
+import json
+
+from repro.analysis.rules import ERROR
+
+__all__ = ["REPORT_SCHEMA", "render_text", "render_json", "report_dict"]
+
+REPORT_SCHEMA = 1
+
+
+def _summary(findings, sources):
+    active = [f for f in findings if not f.suppressed]
+    return {
+        "errors": sum(1 for f in active if f.severity == ERROR),
+        "warnings": sum(1 for f in active if f.severity != ERROR),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "files": len(sources),
+    }
+
+
+def report_dict(findings, sources, certificate=None):
+    """The full report as a JSON-ready dict."""
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "module": f.module,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "suppress_reason": f.suppress_reason,
+            }
+            for f in findings
+        ],
+        "summary": _summary(findings, sources),
+    }
+    if certificate is not None:
+        payload["certificate"] = {
+            "ok": certificate.ok,
+            "forbidden": sorted(certificate.forbidden),
+            "analyzed_modules": certificate.analyzed_modules,
+            "analyzed_functions": certificate.analyzed_functions,
+            "entries": [
+                {
+                    "entry": entry.entry,
+                    "found": entry.found,
+                    "pure": entry.pure,
+                    "effects": sorted(entry.effects),
+                    "violations": sorted(entry.violations),
+                    "reachable": entry.reachable,
+                    "externals": list(entry.externals),
+                    "witnesses": {
+                        effect: list(steps)
+                        for effect, steps in entry.witnesses.items()
+                    },
+                }
+                for entry in certificate.entries
+            ],
+        }
+    return payload
+
+
+def render_json(findings, sources, certificate=None, stream=None):
+    text = json.dumps(
+        report_dict(findings, sources, certificate), indent=2,
+        sort_keys=True,
+    )
+    if stream is not None:
+        print(text, file=stream)
+    return text
+
+
+def render_text(findings, sources, certificate=None, stream=None,
+                show_suppressed=False):
+    lines = []
+    for finding in findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(str(finding))
+    summary = _summary(findings, sources)
+    lines.append(
+        "repro-san: {} file(s), {} error(s), {} warning(s), "
+        "{} suppressed".format(
+            summary["files"], summary["errors"], summary["warnings"],
+            summary["suppressed"],
+        )
+    )
+    if certificate is not None:
+        lines.extend(_certificate_lines(certificate))
+    text = "\n".join(lines)
+    if stream is not None:
+        print(text, file=stream)
+    return text
+
+
+def _certificate_lines(certificate):
+    lines = [
+        "purity certificate ({} modules, {} functions analysed):".format(
+            certificate.analyzed_modules, certificate.analyzed_functions
+        )
+    ]
+    for entry in certificate.entries:
+        if not entry.found:
+            lines.append(
+                "  {}: NOT FOUND in the analysed tree".format(entry.entry)
+            )
+            continue
+        if entry.pure:
+            lines.append(
+                "  {}: sim-pure ({} reachable functions, "
+                "{} external calls assumed pure)".format(
+                    entry.entry, entry.reachable, len(entry.externals)
+                )
+            )
+        else:
+            lines.append(
+                "  {}: IMPURE — {}".format(
+                    entry.entry, ", ".join(sorted(entry.violations))
+                )
+            )
+            for effect, steps in entry.witnesses.items():
+                lines.append("    {} via:".format(effect))
+                for step in steps:
+                    lines.append("      {}".format(step))
+    lines.append(
+        "certificate: {}".format("OK" if certificate.ok else "FAILED")
+    )
+    return lines

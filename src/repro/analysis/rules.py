@@ -1,0 +1,149 @@
+"""Rule framework for the determinism sanitizer.
+
+A :class:`Rule` inspects one :class:`~repro.analysis.source.SourceFile`
+and yields :class:`Finding` objects.  Rules self-register via
+:func:`register`; :func:`run_rules` drives every (file, rule) pair,
+applies the file's ``# repro-san: ignore[...]`` pragmas, and returns
+findings sorted by location.  Severity is two-tier like the IR linter's
+(:mod:`repro.instrument.analysis.lint`): *errors* are determinism or
+parallel-safety violations the result cache and the process pool cannot
+survive; *warnings* are hazards worth a human look.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Rule",
+    "register",
+    "all_rules",
+    "rules_by_code",
+    "run_rules",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer diagnostic, attributable to a source line."""
+
+    rule: str
+    severity: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: Optional[str] = None
+
+    def __str__(self):
+        tag = " (suppressed)" if self.suppressed else ""
+        return "{}:{}:{}: {}[{}] {}{}".format(
+            self.path, self.line, self.col, self.severity.upper(),
+            self.rule, self.message, tag,
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``severity``/``title`` and
+    implement :meth:`findings`."""
+
+    code = "RULE000"
+    severity = ERROR
+    title = ""
+
+    def findings(self, src, ctx):
+        """Yield :class:`Finding` objects for ``src``.
+
+        ``ctx`` is the shared :class:`~repro.analysis.effects.ModuleContext`
+        (import map, class table, local type hints) so each rule does not
+        re-derive it.
+        """
+        raise NotImplementedError
+
+    def finding(self, src, node, message):
+        """A :class:`Finding` for this rule anchored at ``node``."""
+        return Finding(
+            rule=self.code,
+            severity=self.severity,
+            path=src.path,
+            module=src.module,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY = {}
+
+
+def register(rule_class):
+    """Class decorator: add ``rule_class`` to the global rule registry."""
+    code = rule_class.code
+    if code in _REGISTRY and _REGISTRY[code] is not rule_class:
+        raise ValueError("duplicate rule code {!r}".format(code))
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules():
+    """One instance of every registered rule, ordered by code."""
+    _load_builtin_rules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rules_by_code(codes):
+    """Instances for ``codes``; raises KeyError on an unknown code."""
+    _load_builtin_rules()
+    rules = []
+    for code in codes:
+        if code not in _REGISTRY:
+            raise KeyError(
+                "unknown rule {!r}; known: {}".format(
+                    code, ", ".join(sorted(_REGISTRY))
+                )
+            )
+        rules.append(_REGISTRY[code]())
+    return rules
+
+
+def _load_builtin_rules():
+    # Imported lazily to avoid a cycle (determinism.py imports this module
+    # for the Rule base class and the registry decorator).
+    from repro.analysis import determinism  # noqa: F401
+
+
+def run_rules(sources, rules=None):
+    """Run ``rules`` (default: all) over ``sources``; returns findings
+    sorted by (path, line, col, rule), with suppression pragmas applied.
+
+    Suppressed findings are *kept* (flagged ``suppressed=True``) so
+    reporters can show them and tests can assert every pragma carries a
+    reason; callers filter on ``finding.suppressed`` for gating.
+    """
+    from repro.analysis.effects import ModuleContext
+
+    rules = all_rules() if rules is None else list(rules)
+    findings = []
+    for src in sources:
+        if src.skip:
+            continue
+        ctx = ModuleContext(src)
+        for rule in rules:
+            for finding in rule.findings(src, ctx):
+                pragma = src.suppression_at(finding.line, finding.rule)
+                if pragma is not None:
+                    finding = replace(
+                        finding,
+                        suppressed=True,
+                        suppress_reason=pragma.reason,
+                    )
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

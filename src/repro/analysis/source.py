@@ -1,0 +1,147 @@
+"""Source loading for the determinism sanitizer.
+
+The sanitizer analyses the repository's *own Python source* (never
+imported, never executed): each file becomes a :class:`SourceFile`
+carrying its parse tree, its dotted module name, and its suppression
+table.  Suppressions use the same line-comment convention as the rest of
+the lint ecosystem::
+
+    started = time.time()  # repro-san: ignore[DET001] -- progress only
+
+silences rule ``DET001`` on that line (multiple codes separate with
+commas; the ``--`` reason string is mandatory by project policy and
+checked by ``tests/test_sanitizer_repo.py``).  A whole file opts out
+with ``# repro-san: skip-file -- reason`` on one of its first lines.
+"""
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "SourceFile",
+    "Suppression",
+    "discover_sources",
+    "module_name_for",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-san:\s*ignore\[([A-Za-z0-9_*,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+_SKIP_FILE_RE = re.compile(
+    r"#\s*repro-san:\s*skip-file(?:\s*--\s*(?P<reason>.*\S))?"
+)
+#: How deep into a file a ``skip-file`` pragma may appear.
+_SKIP_FILE_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``ignore[...]`` pragma: the codes it silences and why."""
+
+    codes: Tuple[str, ...]  # ("*",) silences every rule on the line
+    reason: Optional[str]
+
+    def covers(self, code):
+        return "*" in self.codes or code in self.codes
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file under analysis."""
+
+    path: str
+    module: str
+    text: str
+    tree: ast.AST
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    skip: bool = False
+    skip_reason: Optional[str] = None
+
+    @classmethod
+    def from_text(cls, text, path="<memory>", module="<module>"):
+        tree = ast.parse(text, filename=str(path))
+        src = cls(path=str(path), module=module, text=text, tree=tree)
+        src._scan_pragmas()
+        return src
+
+    @classmethod
+    def load(cls, path, module):
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_text(text, path=path, module=module)
+
+    def _scan_pragmas(self):
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            if "repro-san" not in line:
+                continue
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                codes = tuple(
+                    code.strip()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                )
+                self.suppressions[lineno] = Suppression(
+                    codes, match.group("reason")
+                )
+                continue
+            match = _SKIP_FILE_RE.search(line)
+            if match and lineno <= _SKIP_FILE_WINDOW:
+                self.skip = True
+                self.skip_reason = match.group("reason")
+
+    def suppression_at(self, line, code):
+        """The :class:`Suppression` silencing ``code`` on ``line``, if any."""
+        pragma = self.suppressions.get(line)
+        if pragma is not None and pragma.covers(code):
+            return pragma
+        return None
+
+
+def module_name_for(path, package_root):
+    """Dotted module name of ``path`` relative to the directory that
+    *contains* the top-level package.
+
+    >>> module_name_for("src/repro/sim/engine.py", "src")
+    'repro.sim.engine'
+    """
+    rel = Path(path).resolve().relative_to(Path(package_root).resolve())
+    parts = list(rel.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def _package_root(path):
+    """The directory containing the outermost package ``path`` is in.
+
+    Walks upward while ``__init__.py`` exists, so handing the tool
+    ``src/repro`` (or any subpackage, or a single module file) yields
+    module names rooted at ``repro``.
+    """
+    path = Path(path).resolve()
+    package = path if path.is_dir() else path.parent
+    while (package.parent / "__init__.py").exists():
+        package = package.parent
+    return package.parent
+
+
+def discover_sources(path):
+    """Load every ``*.py`` under ``path`` (a package directory or a single
+    file) as :class:`SourceFile` objects, sorted by module name."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError("no such path: {}".format(path))
+    root = _package_root(path)
+    files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+    sources = []
+    for file in files:
+        module = module_name_for(file, root)
+        sources.append(SourceFile.load(file, module))
+    sources.sort(key=lambda src: src.module)
+    return sources

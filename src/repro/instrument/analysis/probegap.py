@@ -445,10 +445,10 @@ def _loop_summary(function, cfg, loop, callee_summaries, reachable):
     )
 
     iteration = None
-    for node in back_edge_nodes:
+    for node in sorted(back_edge_nodes):
         iteration = _alt(iteration, out[node])
     exits = None
-    for node in exit_nodes:
+    for node in sorted(exit_nodes):
         exits = _alt(exits, out[node])
 
     if iteration is None:  # pragma: no cover - loops always have back edges
@@ -546,7 +546,7 @@ def analyze_function(function, callee_summaries=None, cfg=None):
             }
         else:
             outgoing = [s for s in cfg.successors[node] if s in reachable]
-        for succ in outgoing:
+        for succ in sorted(outgoing):
             target = represent(succ)
             if target != node and target not in edges[node]:
                 edges[node].append(target)

@@ -14,6 +14,7 @@ Values are pickled whole; entries are written atomically (tmp + rename) so
 concurrent sweep processes can share one cache directory.
 """
 
+import enum
 import functools
 import hashlib
 import json
@@ -32,7 +33,7 @@ __all__ = [
 ]
 
 #: Bump when the key derivation or stored-value layout changes.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: CPython's Py_TPFLAGS_HEAPTYPE: set for classes defined in Python.
 _PY_TPFLAGS_HEAPTYPE = 1 << 9
@@ -60,6 +61,11 @@ def stable_describe(obj, _seen=None):
     recursively described attributes).  Raises :class:`UncacheableValue`
     for anything else.
     """
+    if isinstance(obj, enum.Enum):
+        # Before the primitive check: IntEnum/StrEnum members must encode
+        # as their enum identity, not as a bare 2 or "fifo" that would
+        # collide with a plain field holding the same value.
+        return ["enum", _qualified_name(type(obj)), obj.name]
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):

@@ -6,7 +6,9 @@ cells out across a ``multiprocessing`` pool and reassembles results in
 submission order, so parallel sweeps are **bit-identical** to serial ones
 (the per-job RNG derivation never touches process-global state).
 
-Degradation is graceful and silent-but-counted:
+Degradation is graceful, counted, and warned about (one
+:class:`RuntimeWarning` per runner, so a sweep that quietly lost its
+parallelism is visible without flooding the log):
 
 * ``jobs=1`` (the default), a single-job batch, or an unpicklable batch all
   run in-process with zero multiprocessing overhead;
@@ -21,6 +23,7 @@ without an explicit ``jobs=``; the CLI's ``--jobs`` overrides it.
 
 import os
 import pickle
+import warnings
 from contextlib import contextmanager
 
 from repro.parallel.jobs import execute_job
@@ -91,6 +94,7 @@ class ParallelRunner:
             "serial_batches": 0,
             "fallbacks": 0,
         }
+        self._warned_fallback = False
 
     # -- the public API -----------------------------------------------------
 
@@ -132,10 +136,13 @@ class ParallelRunner:
         if workers > 1 and self._picklable(batch):
             try:
                 return self._execute_pool(batch, workers)
-            except OSError:
+            except OSError as exc:
                 # Pool creation can fail in sandboxed/restricted
                 # environments; the results must not.
-                self.stats["fallbacks"] += 1
+                self._note_fallback(
+                    "process pool unavailable ({}); running {} job(s) "
+                    "in-process".format(exc, len(batch))
+                )
         self.stats["serial_batches"] += 1
         return [execute_job(job) for job in batch]
 
@@ -143,9 +150,25 @@ class ParallelRunner:
         try:
             pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
             return True
-        except Exception:
-            self.stats["fallbacks"] += 1
+        except Exception as exc:
+            self._note_fallback(
+                "job batch is not picklable ({}); running {} job(s) "
+                "in-process".format(exc, len(batch))
+            )
             return False
+
+    def _note_fallback(self, reason):
+        """Count a degradation to serial execution, warning once per
+        runner — results stay bit-identical, only wall-clock suffers."""
+        self.stats["fallbacks"] += 1
+        if not self._warned_fallback:
+            self._warned_fallback = True
+            warnings.warn(
+                "ParallelRunner(jobs={}) fell back to serial execution: "
+                "{}".format(self.jobs, reason),
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def _execute_pool(self, batch, workers):
         import multiprocessing

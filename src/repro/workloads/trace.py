@@ -83,7 +83,7 @@ class Trace:
 
     def save_csv(self, path):
         """Write the trace as a CSV with columns arrival_us, kind, service_us."""
-        with open(path, "w", newline="") as f:
+        with open(path, "w", newline="") as f:  # repro-san: ignore[DET005] -- persisting a trace is this method's purpose; not on a sim hot path
             writer = csv.writer(f)
             writer.writerow(_HEADER)
             for record in self.records:
@@ -96,7 +96,7 @@ class Trace:
     def load_csv(cls, path):
         """Read a trace previously written by :meth:`save_csv`."""
         records = []
-        with open(path, newline="") as f:
+        with open(path, newline="") as f:  # repro-san: ignore[DET005] -- loading a user-supplied trace is this method's purpose; the trace content is part of the job spec
             reader = csv.reader(f)
             header = tuple(next(reader))
             if header != _HEADER:

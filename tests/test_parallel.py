@@ -5,7 +5,10 @@ out across processes (or serving it from the cache) must reproduce the
 serial results exactly, not approximately.
 """
 
+import enum
 import pickle
+import warnings
+from dataclasses import dataclass
 
 import pytest
 
@@ -28,6 +31,32 @@ from repro.parallel import (
 from repro.workloads.named import bimodal_50_1_50_100
 
 NUM_REQUESTS = 800
+
+
+# -- fixtures for stable_describe's structural coverage ----------------------
+
+
+class _Knob(enum.Enum):
+    FAST = 1
+    SLOW = 2
+
+
+class _IntKnob(enum.IntEnum):
+    TWO = 2
+
+
+@dataclass(frozen=True)
+class _Inner:
+    kind: str
+    weight: float
+
+
+@dataclass(frozen=True)
+class _Outer:
+    name: str
+    inner: _Inner
+    pairs: tuple
+    knob: _Knob
 
 
 def _machine():
@@ -167,6 +196,42 @@ class TestStableDescribe:
         desc = stable_describe(PoissonProcess)
         assert "PoissonProcess" in str(desc)
 
+    def test_nested_frozen_dataclasses_stable(self):
+        def make():
+            return _Outer(
+                name="n", inner=_Inner(kind="k", weight=1.5),
+                pairs=(_Inner("a", 0.25), _Inner("b", 0.75)),
+                knob=_Knob.FAST,
+            )
+        assert stable_describe(make()) == stable_describe(make())
+
+    def test_nested_field_change_changes_description(self):
+        base = _Outer(name="n", inner=_Inner("k", 1.5),
+                      pairs=(_Inner("a", 0.25),), knob=_Knob.FAST)
+        deep = _Outer(name="n", inner=_Inner("k", 2.5),
+                      pairs=(_Inner("a", 0.25),), knob=_Knob.FAST)
+        in_tuple = _Outer(name="n", inner=_Inner("k", 1.5),
+                          pairs=(_Inner("a", 0.5),), knob=_Knob.FAST)
+        assert stable_describe(base) != stable_describe(deep)
+        assert stable_describe(base) != stable_describe(in_tuple)
+
+    def test_enum_members_distinct_from_their_values(self):
+        assert stable_describe(_IntKnob.TWO) != stable_describe(2)
+        assert stable_describe(_Knob.FAST) != stable_describe(1)
+        assert stable_describe(_Knob.FAST) != stable_describe(_Knob.SLOW)
+        assert "FAST" in str(stable_describe(_Knob.FAST))
+
+    def test_enum_fields_give_stable_cache_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = _Outer(name="n", inner=_Inner("k", 1.0),
+                   pairs=(), knob=_Knob.SLOW)
+        b = _Outer(name="n", inner=_Inner("k", 1.0),
+                   pairs=(), knob=_Knob.SLOW)
+        assert cache.key_for(a) == cache.key_for(b)
+        c = _Outer(name="n", inner=_Inner("k", 1.0),
+                   pairs=(), knob=_Knob.FAST)
+        assert cache.key_for(a) != cache.key_for(c)
+
 
 class TestRunnerMachinery:
     def test_resolve_jobs(self, monkeypatch):
@@ -193,11 +258,33 @@ class TestRunnerMachinery:
         job = SimJob(machine=_machine(), config=config,
                      workload=bimodal_50_1_50_100(), load_rps=2e5,
                      num_requests=200, seed=1)
-        results = runner.map([job, job])
+        with pytest.warns(RuntimeWarning, match="fell back to serial"):
+            results = runner.map([job, job])
         assert runner.stats["fallbacks"] >= 1
         assert runner.stats["parallel_batches"] == 0
         assert results[0] == results[1]
         assert results[0].completed > 0
+        # The degradation warns once per runner, not once per batch.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = runner.map([job])
+        assert again[0] == results[0]
+
+    def test_pool_failure_warns_and_falls_back(self, monkeypatch):
+        runner = ParallelRunner(jobs=2)
+
+        def broken_pool(batch, workers):
+            raise OSError("pools forbidden here")
+
+        monkeypatch.setattr(runner, "_execute_pool", broken_pool)
+        job = SimJob(machine=_machine(), config=shinjuku(5.0),
+                     workload=bimodal_50_1_50_100(), load_rps=2e5,
+                     num_requests=200, seed=1)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            results = runner.map([job, job])
+        assert runner.stats["fallbacks"] == 1
+        assert runner.stats["serial_batches"] == 1
+        assert results[0] == results[1]
 
     def test_default_runner_context(self):
         original = get_default_runner()

@@ -1,0 +1,139 @@
+"""The repo-wide sanitizer gate.
+
+This is the test the CI ``sanitize`` job mirrors: the shipped tree must
+carry zero unsuppressed findings, every suppression pragma must state a
+reason, and the interprocedural analysis must certify all three parallel
+job entry points sim-pure.  If a change trips this test, either fix the
+nondeterminism or suppress it with a written justification — silence is
+not an option.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    DEFAULT_ENTRY_POINTS,
+    EffectAnalysis,
+    discover_sources,
+    run_rules,
+)
+from repro.analysis.cli import main as repro_san_main
+from repro.analysis.report import report_dict
+from repro.analysis.rules import ERROR
+
+REPRO_SRC = Path(repro.__file__).parent
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return discover_sources(REPRO_SRC)
+
+
+@pytest.fixture(scope="module")
+def findings(sources):
+    return run_rules(sources)
+
+
+@pytest.fixture(scope="module")
+def certificate(sources):
+    return EffectAnalysis(sources).certify()
+
+
+class TestRepoIsClean:
+    def test_zero_unsuppressed_findings(self, findings):
+        active = [f for f in findings if not f.suppressed]
+        assert active == [], "\n".join(str(f) for f in active)
+
+    def test_every_suppression_states_a_reason(self, sources, findings):
+        for src in sources:
+            for lineno, pragma in src.suppressions.items():
+                assert pragma.reason, (
+                    "{}:{}: repro-san pragma without a '-- reason'".format(
+                        src.path, lineno
+                    )
+                )
+        for finding in findings:
+            if finding.suppressed:
+                assert finding.suppress_reason
+
+    def test_no_skipped_files(self, sources):
+        skipped = [src.path for src in sources if src.skip]
+        assert skipped == []
+
+
+class TestCertificate:
+    def test_certificate_ok(self, certificate):
+        assert certificate.ok
+
+    def test_all_entry_points_found_and_pure(self, certificate):
+        assert {e.entry for e in certificate.entries} == set(
+            DEFAULT_ENTRY_POINTS
+        )
+        for entry in certificate.entries:
+            assert entry.found, entry.entry
+            assert entry.pure, (entry.entry, entry.violations,
+                                entry.witnesses)
+
+    def test_closures_are_substantial(self, certificate):
+        # A resolution regression that silently shrank the call graph
+        # would still "certify" — vacuously.  Pin a floor.
+        for entry in certificate.entries:
+            assert entry.reachable > 100, (entry.entry, entry.reachable)
+
+    def test_externals_are_the_assumption_list(self, certificate):
+        # Externals are calls the analysis could not resolve and assumes
+        # pure; the list must stay short and reviewed.  Growth here means
+        # the resolver lost precision or new untracked calls appeared.
+        for entry in certificate.entries:
+            assert len(entry.externals) < 40, (
+                entry.entry, sorted(entry.externals)
+            )
+
+
+class TestCli:
+    def test_json_run_exits_zero_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "repro-san.json"
+        code = repro_san_main(
+            ["--format", "json", "--output", str(out), str(REPRO_SRC)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["summary"]["errors"] == 0
+        assert payload["certificate"]["ok"] is True
+        entries = {e["entry"]: e for e in payload["certificate"]["entries"]}
+        assert set(entries) == set(DEFAULT_ENTRY_POINTS)
+        assert all(e["pure"] for e in entries.values())
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert repro_san_main(["--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                     "PAR001", "PAR002"):
+            assert code in listing
+
+    def test_failing_tree_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "pkg"
+        bad.mkdir()
+        (bad / "__init__.py").write_text("", encoding="utf-8")
+        (bad / "m.py").write_text(
+            "import time\n\n\ndef f():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        assert repro_san_main(["--no-certify", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_report_dict_round_trips_findings(self, sources, findings,
+                                              certificate):
+        payload = report_dict(findings, sources, certificate)
+        assert payload["summary"]["suppressed"] == sum(
+            1 for f in findings if f.suppressed
+        )
+        assert payload["summary"]["errors"] == sum(
+            1 for f in findings
+            if f.severity == ERROR and not f.suppressed
+        )
+        assert payload["summary"]["files"] == len(sources)
