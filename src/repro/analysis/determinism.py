@@ -56,6 +56,15 @@ SIM_PACKAGES = (
     "repro.metrics",
     "repro.hardware",
     "repro.models",
+    # Observability runtime: probes ride inside simulations, so the same
+    # ambient-read discipline applies.  The export half (repro.obs.export)
+    # does io strictly after runs and stays out of the sim path.
+    "repro.obs.events",
+    "repro.obs.bus",
+    "repro.obs.recorder",
+    "repro.obs.registry",
+    "repro.obs.session",
+    "repro.obs.spans",
     "repro.parallel.jobs",
 )
 

@@ -43,6 +43,10 @@ class LoadBalancer:
         self._workload = None
         self._arrival = None
         self._t_us = 0.0
+        #: Probe bus for rack-level routing/reply events (observability
+        #: layer); None = the zero-overhead default.  The rack installs one
+        #: when a trace session is active.
+        self.probes = None
         for index, server in enumerate(self.servers):
             server.on_complete = self._completion_hook(index)
 
@@ -81,6 +85,9 @@ class LoadBalancer:
         self.offered += 1
         self.routed[index] += 1
         self.board.on_route(index)
+        probes = self.probes
+        if probes is not None:
+            probes.request_routed(self.sim.now, request, index)
         server = self.servers[index]
         delay = self.fabric.hop_cycles(self.clock, self.rng_net)
         self.sim.after(
@@ -94,15 +101,19 @@ class LoadBalancer:
     def _completion_hook(self, index):
         def on_complete(request):
             delay = self.fabric.hop_cycles(self.clock, self.rng_net)
+            rid = request.rid
             self.sim.after(
-                delay, lambda: self._reply_landed(index), "net-reply"
+                delay, lambda: self._reply_landed(index, rid), "net-reply"
             )
 
         return on_complete
 
-    def _reply_landed(self, index):
+    def _reply_landed(self, index, rid=None):
         self.replies += 1
         self.board.on_reply(index)
+        probes = self.probes
+        if probes is not None:
+            probes.reply_received(self.sim.now, rid, index)
 
     # -- telemetry --------------------------------------------------------------
 

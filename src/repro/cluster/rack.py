@@ -15,6 +15,7 @@ from repro.cluster.balancer import LoadBalancer
 from repro.cluster.network import NetworkFabric
 from repro.cluster.policies import make_cluster_policy
 from repro.metrics.slowdown import summarize_slowdowns
+from repro.obs.session import active_session
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
@@ -88,6 +89,19 @@ class Cluster:
             self.sim, machine.clock, self.servers, self.policy, self.fabric,
             self.streams.spawn_key("balancer"),
         )
+        #: Probe bus for the balancer lane; the member servers already
+        #: picked up their own buses through ``Server.__init__`` when a
+        #: trace session is ambient.
+        self.probes = None
+        session = active_session()
+        if session is not None:
+            bus = session.make_bus("balancer", clock=machine.clock)
+            self.probes = bus
+            self.balancer.probes = bus
+            if bus.engine_events:
+                # One shared simulator for the whole rack: attach the raw
+                # engine feed once, on the balancer's bus.
+                self.sim.attach_probes(bus)
         self._ran = False
 
     def run(self, workload, arrival, num_requests, until_us=None,

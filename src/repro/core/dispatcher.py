@@ -102,6 +102,9 @@ class Dispatcher:
         self._in_action = True
         self.busy_cycles += cost
         self.actions_run += 1
+        probes = self.server.probes
+        if probes is not None:
+            probes.dispatcher_action(self.sim.now, name, cost)
 
         def finish():
             self._in_action = False
@@ -136,7 +139,7 @@ class Dispatcher:
             request = self.requeues.popleft()
             self._run_action(
                 costs.requeue,
-                lambda r=request: self.server.policy.push_preempted(r),
+                lambda r=request: self._push_preempted(r),
                 "d-requeue",
             )
             return
@@ -146,7 +149,7 @@ class Dispatcher:
             request = self.rx.popleft()
             self._run_action(
                 costs.rx,
-                lambda r=request: self.server.policy.push_new(r),
+                lambda r=request: self._push_new(r),
                 "d-rx",
             )
             return
@@ -198,7 +201,22 @@ class Dispatcher:
                 best_outstanding = outstanding
         return best
 
+    def _push_new(self, request):
+        self.server.policy.push_new(request)
+        probes = self.server.probes
+        if probes is not None:
+            probes.request_enqueued(self.sim.now, request)
+
+    def _push_preempted(self, request):
+        self.server.policy.push_preempted(request)
+        probes = self.server.probes
+        if probes is not None:
+            probes.request_enqueued(self.sim.now, request, requeued=True)
+
     def _complete_dispatch(self, request, worker):
+        probes = self.server.probes
+        if probes is not None:
+            probes.request_dispatched(self.sim.now, request, worker.wid)
         ready_at = self.sim.now + self.server.costs.sq_receive
         worker.enqueue(request, ready_at)
 
@@ -247,6 +265,9 @@ class Dispatcher:
             "end_event": end_event,
             "completes": completes,
         }
+        probes = self.server.probes
+        if probes is not None:
+            probes.steal_started(now, request, exec_start, completes)
 
     def _account_steal(self, st, stop_time):
         """Charge the slice [entry switch + execution] to the dispatcher."""
@@ -302,6 +323,9 @@ class Dispatcher:
         executed = max(0, min(executed, request.remaining_cycles - 1))
         request.remaining_cycles -= executed
         self.steal_buffer = request
+        probes = self.server.probes
+        if probes is not None:
+            probes.steal_paused(now, request)
         self._next()
 
     # -- introspection ----------------------------------------------------------------------

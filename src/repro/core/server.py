@@ -19,6 +19,7 @@ from repro.core.policies import make_policy
 from repro.core.preemption import NoPreemption
 from repro.core.request import Request
 from repro.core.worker import Worker
+from repro.obs.session import resolve_probes
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
@@ -178,7 +179,7 @@ class Server:
     """A single simulated server instance (one run)."""
 
     def __init__(self, machine, config, seed=0, profile=None, app=None,
-                 sim=None, streams=None):
+                 sim=None, streams=None, probes=None):
         self.machine = machine
         self.config = config
         self.clock = machine.clock
@@ -243,6 +244,20 @@ class Server:
         self.on_complete = None
         self._ran = False
         self._arrivals = {"count": 0, "first": None, "last": None}
+        #: Probe bus (observability layer).  Explicit ``probes`` wins;
+        #: otherwise an ambient :func:`repro.obs.session.tracing` session
+        #: supplies one; the default None keeps every probe site down to a
+        #: single falsy check (the zero-overhead path).
+        self.probes = resolve_probes(self, probes)
+        if (
+            self.probes is not None
+            and self.probes.engine_events
+            and sim is None
+        ):
+            # This server owns its simulator: route the raw engine event
+            # feed into the bus.  Shared-sim members leave the hookup to
+            # their owner (the rack attaches its balancer bus once).
+            self.sim.attach_probes(self.probes)
 
     # -- callbacks used by agents ------------------------------------------------------
 
@@ -265,6 +280,9 @@ class Server:
 
     def record_completion(self, request):
         self.completed.append(request)
+        probes = self.probes
+        if probes is not None:
+            probes.request_completed(self.sim.now, request)
         if self.on_complete is not None:
             self.on_complete(request)
 
@@ -288,6 +306,9 @@ class Server:
             state["first"] = cycle
         state["last"] = cycle
         state["count"] += 1
+        probes = self.probes
+        if probes is not None:
+            probes.request_arrival(cycle, request)
         self.dispatcher.on_arrival(request)
 
     @property
@@ -425,6 +446,8 @@ class Server:
             num_offered = state["count"]
         if drained is None:
             drained = len(self.completed) == state["count"]
+        if self.probes is not None:
+            self.probes.finalize_run(self)
         return SimResult(
             server=self,
             num_offered=num_offered,

@@ -116,6 +116,12 @@ class Worker:
             request.first_dispatch_cycle = at
         request.last_worker = self.wid
 
+        probes = self.server.probes
+        if probes is not None:
+            probes.request_started(
+                at, request, self.wid, run_start, request.preemptions > 0
+            )
+
         duration = int(math.ceil(request.remaining_cycles * self.server.worker_rate))
         completion_at = run_start + duration
         self.sim.at(completion_at, lambda: self._on_complete(epoch), "w-complete")
@@ -184,6 +190,9 @@ class Worker:
         request.preemptions += 1
         self.preemptions_taken += 1
         self.busy_cycles += now - self.run_start
+        probes = self.server.probes
+        if probes is not None:
+            probes.request_preempted(now, request, self.wid)
 
         costs = self.server.costs
         yield_done = now + costs.disruption + costs.context_switch
@@ -206,6 +215,9 @@ class Worker:
             self.server.dispatcher.worker_slot_freed(self)
         else:
             self.idle_since = now
+            probes = self.server.probes
+            if probes is not None:
+                probes.worker_went_idle(now, self.wid)
             self.server.dispatcher.worker_became_idle(self)
 
     def __repr__(self):

@@ -13,6 +13,7 @@ import os
 import sys
 import time
 
+from repro.experiments import tracecmd
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
@@ -67,6 +68,7 @@ def _build_parser():
         help="render each multi-column result as an ASCII chart too",
     )
     _add_parallel_args(run_parser)
+    tracecmd.add_trace_args(run_parser)
 
     compare_parser = sub.add_parser(
         "compare",
@@ -96,6 +98,7 @@ def _build_parser():
              "concord-no-steal, coop-sq, coop-jbsq",
     )
     _add_parallel_args(compare_parser)
+    tracecmd.add_trace_args(compare_parser)
 
     rack_parser = sub.add_parser(
         "rack",
@@ -135,13 +138,27 @@ def _build_parser():
     )
     rack_parser.add_argument("--seed", type=int, default=1)
     _add_parallel_args(rack_parser)
+    tracecmd.add_trace_args(rack_parser)
+
+    tracecmd.add_trace_subcommand(sub)
     return parser
 
 
-def _build_runner(args):
-    """A ParallelRunner from the shared --jobs / cache flags."""
+def _build_runner(args, stream=None):
+    """A ParallelRunner from the shared --jobs / cache flags.  Tracing
+    forces a serial, uncached runner: pooled or cached simulations never
+    touch this process's trace session."""
     from repro.parallel import ParallelRunner, ResultCache
 
+    if tracecmd.tracing_requested(args):
+        if stream is not None and (args.jobs not in (None, 1) or
+                                   not args.no_cache):
+            print(
+                "  [trace: running serially with the cache disabled so "
+                "every event is observed]",
+                file=stream,
+            )
+        return tracecmd.serial_runner()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     try:
         return ParallelRunner(jobs=args.jobs, cache=cache)
@@ -172,7 +189,7 @@ def _run_compare(args, stream):
     from repro.parallel import ServerJob
     from repro.workloads import workload_by_name
 
-    runner = _build_runner(args)
+    runner = _build_runner(args, stream)
     workload = workload_by_name(args.workload)
     machine = c6420(args.workers)
     load = (
@@ -197,7 +214,9 @@ def _run_compare(args, stream):
             seed=args.seed,
         ))
     rows = []
-    for outcome in runner.map(jobs):
+    with tracecmd.maybe_traced(args, stream, default_out="compare-trace.json"):
+        outcomes = runner.map(jobs)
+    for outcome in outcomes:
         rows.append([
             outcome["name"], outcome["p50"], outcome["p99"],
             outcome["p999"],
@@ -211,6 +230,8 @@ def _run_compare(args, stream):
         title="{} at {:.0f} kRps, quantum {:g}us, {} workers".format(
             workload.name, load / 1e3, args.quantum_us, args.workers),
     ), file=stream)
+    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+        print("  " + runner.summary_line(), file=stream)
     return 0
 
 
@@ -221,7 +242,7 @@ def _run_rack(args, stream):
     from repro.parallel import RackJob
     from repro.workloads import workload_by_name
 
-    runner = _build_runner(args)
+    runner = _build_runner(args, stream)
     workload = workload_by_name(args.workload)
     machine = c6420(args.workers)
     rack_capacity = args.servers * args.workers * 1e6 / workload.mean_us()
@@ -236,15 +257,16 @@ def _run_rack(args, stream):
             )
         ) from None
     policies = [p.strip() for p in args.policies.split(",")]
-    outcomes = runner.map([
-        RackJob(
-            machine=machine, config=factory(args.quantum_us),
-            num_servers=args.servers, policy=policy, workload=workload,
-            load_rps=load, num_requests=args.requests, seed=args.seed,
-            fabric=fabric,
-        )
-        for policy in policies
-    ])
+    with tracecmd.maybe_traced(args, stream, default_out="rack-trace.json"):
+        outcomes = runner.map([
+            RackJob(
+                machine=machine, config=factory(args.quantum_us),
+                num_servers=args.servers, policy=policy, workload=workload,
+                load_rps=load, num_requests=args.requests, seed=args.seed,
+                fabric=fabric,
+            )
+            for policy in policies
+        ])
     rows = []
     for policy, outcome in zip(policies, outcomes):
         rows.append([
@@ -260,6 +282,8 @@ def _run_rack(args, stream):
                   args.system, args.servers, workload.name, load / 1e3,
                   args.load_frac, args.staleness_us),
     ), file=stream)
+    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+        print("  " + runner.summary_line(), file=stream)
     return 0
 
 
@@ -309,16 +333,20 @@ def main(argv=None, stream=None):
     if args.command == "rack":
         return _run_rack(args, stream)
 
+    if args.command == "trace":
+        return tracecmd.run_trace_command(args, stream)
+
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    runner = _build_runner(args)
-    if args.experiment == "all":
-        for eid in sorted(EXPERIMENTS):
-            _run_one(eid, args.quality, args.seed, args.out, stream,
-                     plot=args.plot, runner=runner)
-    else:
-        _run_one(args.experiment, args.quality, args.seed, args.out, stream,
-                 plot=args.plot, runner=runner)
+    runner = _build_runner(args, stream)
+    with tracecmd.maybe_traced(args, stream):
+        if args.experiment == "all":
+            for eid in sorted(EXPERIMENTS):
+                _run_one(eid, args.quality, args.seed, args.out, stream,
+                         plot=args.plot, runner=runner)
+        else:
+            _run_one(args.experiment, args.quality, args.seed, args.out,
+                     stream, plot=args.plot, runner=runner)
     if runner.cache is not None and (runner.cache.hits or runner.cache.stores):
         print(
             "  [cache: {} hits, {} new entries in {}]".format(
@@ -327,6 +355,8 @@ def main(argv=None, stream=None):
             ),
             file=stream,
         )
+    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+        print("  " + runner.summary_line(), file=stream)
     return 0
 
 

@@ -23,9 +23,11 @@ without an explicit ``jobs=``; the CLI's ``--jobs`` overrides it.
 
 import os
 import pickle
+import time
 import warnings
 from contextlib import contextmanager
 
+from repro.obs.registry import TelemetryRegistry
 from repro.parallel.jobs import execute_job
 
 __all__ = [
@@ -66,6 +68,18 @@ def _cpu_count():
         return max(1, os.cpu_count() or 1)
 
 
+def _run_timed(job):
+    """Execute one job and return ``(result, wall_seconds)``.
+
+    Module-level so pool workers can unpickle it; the measured wall time
+    feeds the runner's telemetry registry only and never enters results.
+    """
+    started = time.perf_counter()  # repro-san: ignore[DET001] -- wall-clock job timing for the runner telemetry footer only; never enters results
+    value = execute_job(job)
+    seconds = time.perf_counter() - started  # repro-san: ignore[DET001] -- wall-clock job timing for the runner telemetry footer only; never enters results
+    return value, seconds
+
+
 class ParallelRunner:
     """Maps job specs to results, in order, with optional parallelism and
     caching.
@@ -90,10 +104,14 @@ class ParallelRunner:
         self.stats = {
             "jobs_run": 0,
             "cache_hits": 0,
+            "cache_misses": 0,
             "parallel_batches": 0,
             "serial_batches": 0,
             "fallbacks": 0,
         }
+        #: Per-job wall times and hit/miss counters land here; the sweep
+        #: CLI prints :meth:`summary_line` from it.
+        self.telemetry = TelemetryRegistry()
         self._warned_fallback = False
 
     # -- the public API -----------------------------------------------------
@@ -112,17 +130,22 @@ class ParallelRunner:
                     hit, value = cache.get(key)
                     if hit:
                         results[i] = value
-            self.stats["cache_hits"] += sum(
-                1 for r in results if r is not _MISSING
-            )
+            hits = sum(1 for r in results if r is not _MISSING)
+            self.stats["cache_hits"] += hits
+            self.telemetry.count("runner.cache_hits", hits)
         pending = [i for i, r in enumerate(results) if r is _MISSING]
         if pending:
             outputs = self._execute([jobs[i] for i in pending])
-            for i, value in zip(pending, outputs):
+            for i, (value, seconds) in zip(pending, outputs):
                 results[i] = value
+                self.telemetry.sample("runner.job_seconds", i, seconds)
                 if cache is not None and keys[i] is not None:
                     cache.put(keys[i], value)
             self.stats["jobs_run"] += len(pending)
+            self.telemetry.count("runner.jobs_run", len(pending))
+            if cache is not None:
+                self.stats["cache_misses"] += len(pending)
+                self.telemetry.count("runner.cache_misses", len(pending))
         return results
 
     def run(self, job):
@@ -144,7 +167,7 @@ class ParallelRunner:
                     "in-process".format(exc, len(batch))
                 )
         self.stats["serial_batches"] += 1
-        return [execute_job(job) for job in batch]
+        return [_run_timed(job) for job in batch]
 
     def _picklable(self, batch):
         try:
@@ -181,9 +204,29 @@ class ParallelRunner:
             1, (len(batch) + 4 * workers - 1) // (4 * workers)
         )
         with context.Pool(processes=workers) as pool:
-            outputs = pool.map(execute_job, batch, chunksize=chunksize)
+            outputs = pool.map(_run_timed, batch, chunksize=chunksize)
         self.stats["parallel_batches"] += 1
         return outputs
+
+    def summary_line(self):
+        """One-line telemetry footer for sweep CLIs: jobs run, cache
+        hit/miss split, total and slowest per-job wall time."""
+        series = self.telemetry.series.get("runner.job_seconds")
+        samples = series.samples if series is not None else []
+        total = sum(v for _i, v in samples)
+        slowest = max((v for _i, v in samples), default=0.0)
+        cache_part = "no cache"
+        if self.cache is not None:
+            cache_part = "{} cache hits, {} misses".format(
+                self.stats["cache_hits"], self.stats["cache_misses"]
+            )
+        return (
+            "[runner: {} jobs simulated in {:.1f}s wall "
+            "(slowest {:.1f}s), {}, jobs={}]".format(
+                self.stats["jobs_run"], total, slowest, cache_part,
+                self.jobs,
+            )
+        )
 
     def __repr__(self):
         return "ParallelRunner(jobs={}, cache={!r})".format(

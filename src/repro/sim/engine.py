@@ -16,6 +16,7 @@ through every sift.
 """
 
 import heapq
+import warnings
 
 __all__ = ["Event", "Simulator", "SimulationError", "COMPACT_MIN_DEAD"]
 
@@ -72,11 +73,22 @@ class Simulator:
     Parameters
     ----------
     trace:
-        Optional callable invoked as ``trace(time, name)`` before each event
-        fires; useful for debugging schedules.
+        Deprecated: optional callable invoked as ``trace(time, name)``
+        before each event fires.  Use the probe bus instead
+        (:meth:`attach_probes`, or a :func:`repro.obs.session.tracing`
+        session with ``engine_events=True``); the callback still works
+        through a compatibility shim.
     """
 
     def __init__(self, trace=None):
+        if trace is not None:
+            warnings.warn(
+                "Simulator(trace=...) is deprecated; attach a probe bus "
+                "instead (Simulator.attach_probes, or repro.obs.tracing "
+                "with TraceConfig(engine_events=True))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.now = 0
         self._heap = []
         self._seq = 0
@@ -86,6 +98,27 @@ class Simulator:
         self._dead_in_heap = 0
         self._compactions = 0
         self._running = False
+
+    def attach_probes(self, bus):
+        """Feed every fired event into ``bus.sim_event(time, name)``.
+
+        This is the probe-bus replacement for the deprecated ``trace``
+        callback; if a legacy callback is also installed the two compose
+        (callback first, then the bus).  The drain loop is unchanged:
+        the sink rides the existing hoisted trace branch, so the
+        no-observer path stays exactly as fast.
+        """
+        sink = bus.sim_event
+        prev = self._trace
+        if prev is None:
+            self._trace = sink
+        else:
+            def fanout(time, name):
+                prev(time, name)
+                sink(time, name)
+
+            self._trace = fanout
+        return self
 
     # -- scheduling ---------------------------------------------------------
 

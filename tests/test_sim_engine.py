@@ -135,13 +135,28 @@ def test_zero_delay_event_runs_after_current_callback():
     assert order == ["outer", "inner"]
 
 
-def test_trace_hook_sees_each_event():
+def test_trace_hook_sees_each_event_but_is_deprecated():
     seen = []
-    sim = Simulator(trace=lambda t, name: seen.append((t, name)))
+    with pytest.warns(DeprecationWarning, match="probe bus"):
+        sim = Simulator(trace=lambda t, name: seen.append((t, name)))
     sim.at(4, lambda: None, name="x")
     sim.at(6, lambda: None, name="y")
     sim.run()
     assert seen == [(4, "x"), (6, "y")]
+
+
+def test_attach_probes_composes_with_legacy_trace():
+    from repro.obs import ProbeBus
+
+    seen = []
+    with pytest.warns(DeprecationWarning):
+        sim = Simulator(trace=lambda t, name: seen.append((t, name)))
+    bus = ProbeBus("engine")
+    sim.attach_probes(bus)
+    sim.at(2, lambda: None, name="x")
+    sim.run()
+    assert seen == [(2, "x")]
+    assert [(e.t, e.data["name"]) for e in bus.events] == [(2, "x")]
 
 
 def test_events_run_counter():
