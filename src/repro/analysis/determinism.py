@@ -66,10 +66,14 @@ SIM_PACKAGES = (
     "repro.obs.session",
     "repro.obs.spans",
     "repro.parallel.jobs",
+    # Fault injection and resilience mutate live simulation state; their
+    # determinism (seeded injector stream, fixed thresholds) is exactly
+    # what the certificate must cover.
+    "repro.faults",
 )
 
 #: The picklable job dataclasses the parallel runner ships to workers.
-_JOB_CLASSES = ("SimJob", "ServerJob", "RackJob")
+_JOB_CLASSES = ("SimJob", "ServerJob", "RackJob", "FaultJob")
 
 
 def in_sim_path(module):

@@ -71,6 +71,7 @@ DEFAULT_ENTRY_POINTS = (
     "repro.parallel.jobs:SimJob.run",
     "repro.parallel.jobs:ServerJob.run",
     "repro.parallel.jobs:RackJob.run",
+    "repro.parallel.jobs:FaultJob.run",
 )
 
 MODULE_BODY = "<module>"

@@ -131,6 +131,15 @@ class TelemetryBoard:
         self._lens[index] = queue_len
         self.updates += 1
 
+    # -- fault-injection resync -------------------------------------------------
+
+    def resync(self, index, queue_len):
+        """Overwrite one entry with ground truth.  Used by the fault
+        injector after a crash recovery or a counter-mode telemetry
+        blackout, where missed increments/decrements would otherwise skew
+        the view forever.  Not counted as a telemetry update."""
+        self._lens[index] = queue_len
+
     def __repr__(self):
         return "TelemetryBoard(mode={}, lens={})".format(
             "counter" if self.counter_mode else "report", self._lens

@@ -10,11 +10,12 @@ the inter-server layer routes above them.  Per-server randomness comes from
 independent.
 """
 
+from repro import constants
 from repro.core.server import RunLimitExceeded, Server
 from repro.cluster.balancer import LoadBalancer
 from repro.cluster.network import NetworkFabric
 from repro.cluster.policies import make_cluster_policy
-from repro.metrics.slowdown import summarize_slowdowns
+from repro.metrics.slowdown import check_warmup_frac, summarize_slowdowns
 from repro.obs.session import active_session
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -63,10 +64,18 @@ class Cluster:
     seed:
         Master seed; servers and balancer derive children via
         ``spawn_key``, so the same seed reproduces the whole rack.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`.  ``None`` (the default)
+        builds a rack bit-identical to the pre-fault layer: no injector is
+        installed and every hook stays behind an ``is None`` guard.
+    resilience:
+        Optional :class:`~repro.faults.ResilienceConfig` enabling the
+        balancer-side failure detector, per-request timeouts with retry,
+        hedging, and admission-control shedding.
     """
 
     def __init__(self, machine, config, num_servers, policy="jsq", seed=0,
-                 fabric=None, profile=None):
+                 fabric=None, profile=None, fault_plan=None, resilience=None):
         if num_servers < 1:
             raise ValueError(
                 "rack needs at least one server, got {}".format(num_servers)
@@ -89,6 +98,21 @@ class Cluster:
             self.sim, machine.clock, self.servers, self.policy, self.fabric,
             self.streams.spawn_key("balancer"),
         )
+        self.injector = None
+        if fault_plan is not None and len(fault_plan):
+            # Imported lazily: repro.faults depends on the cluster layer's
+            # seams, not the other way round.
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(
+                fault_plan, self.streams.spawn_key("faults")
+            )
+            self.injector.install(self)
+        self.resilience = None
+        if resilience is not None:
+            from repro.faults.resilience import ResilienceManager
+
+            self.resilience = ResilienceManager(self.balancer, resilience)
         #: Probe bus for the balancer lane; the member servers already
         #: picked up their own buses through ``Server.__init__`` when a
         #: trace session is ambient.
@@ -116,7 +140,13 @@ class Cluster:
         until = clock.us_to_cycles(until_us) if until_us is not None else None
         self.sim.run(until=until, max_events=max_events)
         completed = sum(len(server.completed) for server in self.servers)
-        drained = completed == num_requests
+        if self.injector is not None or self.resilience is not None:
+            # Crashed-away losses / shed / failed requests never produce a
+            # completion record, so "every request resolved" is the honest
+            # drain criterion under fault injection.
+            drained = self.balancer.accounted()
+        else:
+            drained = completed == num_requests
         if not drained and until is None and self.sim.pending:
             raise RunLimitExceeded(
                 "rack[{}x{}]: {} events were not enough to drain {} requests "
@@ -158,6 +188,19 @@ class ClusterResult:
             for record in result.records
         ]
         self.records.sort(key=lambda r: r.completion_cycle)
+        #: Records dropped because a retry/hedge duplicate of the same
+        #: logical request already completed earlier (first reply wins).
+        self.duplicate_records = 0
+        if balancer.resilience is not None:
+            seen = set()
+            unique = []
+            for record in self.records:
+                if record.rid in seen:
+                    continue
+                seen.add(record.rid)
+                unique.append(record)
+            self.duplicate_records = len(self.records) - len(unique)
+            self.records = unique
         self.num_offered = balancer.offered
         self.drained = drained
         arrivals = [
@@ -176,12 +219,43 @@ class ClusterResult:
             key: sum(r.dispatcher_stats[key] for r in server_results)
             for key in server_results[0].dispatcher_stats
         }
+        # -- fault-injection / resilience accounting (None/zero when off) -----
+        injector = balancer.injector
+        manager = balancer.resilience
+        #: Injector counter dict (crashes, lost, ...), or None.
+        self.fault_stats = injector.stats() if injector is not None else None
+        #: Resilience counter dict (retries, hedges, ...), or None.
+        self.resilience_stats = manager.stats() if manager is not None else None
+        self.lost = injector.lost_total if injector is not None else 0
+        self.requeued = injector.requeued_total if injector is not None else 0
+        self.crashes = injector.crashes if injector is not None else 0
+        #: Crash-onset-to-first-post-recovery-reply, µs, one per crash.
+        self.mttr_us = (
+            injector.mttr_us_samples() if injector is not None else []
+        )
+        self.shed = manager.shed if manager is not None else 0
+        self.failed = manager.failed if manager is not None else 0
+        self.retries = manager.retries if manager is not None else 0
+        self.hedges = manager.hedges if manager is not None else 0
+        self.timeouts = manager.timeouts if manager is not None else 0
+        #: ``[server, suspect_cycle, clear_cycle_or_None]`` detector rows.
+        self.suspicion_intervals = (
+            [list(row) for row in manager.detector.intervals]
+            if manager is not None and manager.detector is not None
+            else []
+        )
+        #: Admission-to-first-reply latency per completed logical request
+        #: (µs, rid order) — the client-side recovery-timeline signal.
+        self.e2e_latencies_us = (
+            manager.e2e_latencies_us() if manager is not None else None
+        )
 
     # -- the paper's metrics, rack-wide ------------------------------------------
 
     def measured_records(self, warmup_frac=0.1):
         """Pooled records ordered by arrival, with the rack-wide warmup
         prefix discarded (same convention as a single server)."""
+        check_warmup_frac(warmup_frac)
         ordered = sorted(self.records, key=lambda r: r.arrival_cycle)
         skip = int(len(ordered) * warmup_frac)
         return ordered[skip:]
@@ -219,15 +293,39 @@ class ClusterResult:
     def throughput_rps(self):
         return len(self.records) * self.clock.freq_hz / self.duration_cycles()
 
+    def goodput(self):
+        """Fraction of offered logical requests that completed (uniquely):
+        the headline degradation-curve metric.  1.0 on a fault-free drained
+        run; crashes without retry, shedding, and failures pull it down."""
+        return len(self.records) / max(1, self.num_offered)
+
+    def slo_goodput(self, warmup_frac=0.1, slo=constants.SLOWDOWN_SLO):
+        """Fraction of measured logical requests that completed *within*
+        the slowdown SLO — requests that were lost, shed, failed, or
+        completed unusably late all count against it, which is what makes
+        telemetry blackouts (nothing lost, tail exploded) visible."""
+        measured = self.measured_records(warmup_frac)
+        offered_window = max(
+            1, self.num_offered - (len(self.records) - len(measured))
+        )
+        good = sum(1 for r in measured if r.slowdown() <= slo)
+        return good / offered_window
+
     def imbalance(self):
-        """Max/mean ratio of per-server routed counts."""
+        """Max/mean ratio of per-server routed counts.  Robust to racks
+        where some (or all) servers received zero requests — e.g. drained
+        health-aware routing or shed-everything runs."""
+        if not self.routed:
+            return 1.0
         mean = sum(self.routed) / len(self.routed)
         if mean <= 0:
             return 1.0
         return max(self.routed) / mean
 
     def per_server_summaries(self, warmup_frac=0.1):
-        """Per-server slowdown summaries (None for idle servers)."""
+        """Per-server slowdown summaries (None for servers that completed
+        nothing — idle, fully-drained-around, or crashed-and-swept)."""
+        check_warmup_frac(warmup_frac)
         out = []
         for result in self.server_results:
             samples = result.slowdowns(warmup_frac)

@@ -179,6 +179,35 @@ CLUSTER_TELEMETRY_INTERVAL_US = 5.0
 #: Default rack size for cluster experiments (servers behind one balancer).
 CLUSTER_DEFAULT_NUM_SERVERS = 4
 
+# --- Fault injection & resilience (repro.faults) -------------------------------
+
+#: How long a worker waits before re-checking a preemption notification that
+#: a fault window swallowed (probe dropout / stall re-arm), in microseconds.
+#: Quantum-scale: a lost probe is noticed roughly one scheduling period later.
+FAULT_REPROBE_US = 5.0
+
+#: Default per-request timeout at the balancer before a retry is considered,
+#: in microseconds.  Must comfortably exceed a healthy request's end-to-end
+#: latency (hop + sojourn + hop) so timeouts fire only on real trouble.
+FAULT_TIMEOUT_US = 1500.0
+
+#: Default maximum retries per logical request (attempts = 1 + retries).
+FAULT_MAX_RETRIES = 3
+
+#: Deterministic multiplicative backoff applied to the timeout per attempt.
+FAULT_RETRY_BACKOFF = 2.0
+
+#: Failure detector: suspect a server when it has outstanding requests and
+#: has not replied for this long (microseconds).
+FAULT_SUSPICION_TIMEOUT_US = 500.0
+
+#: Failure detector check period, in microseconds.
+FAULT_DETECTOR_INTERVAL_US = 100.0
+
+#: How long a suspected server stays blacklisted before a probationary
+#: re-admission, in microseconds.
+FAULT_PROBATION_US = 1500.0
+
 # --- Evaluation defaults (section 5.1) -----------------------------------------
 
 #: Number of worker threads in the paper's full-size experiments.

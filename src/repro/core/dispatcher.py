@@ -35,6 +35,13 @@ class Dispatcher:
             server.workers if server.queue_mode == "sq" else ()
         )
         self._in_action = False
+        #: Bumped by the fault injector when this server crashes; the
+        #: pending action-finish event captures the epoch it was scheduled
+        #: under and goes stale on mismatch (same trick as worker epochs).
+        self.crash_epoch = 0
+        #: The request riding the current micro-action (rx/requeue/push),
+        #: so a crash sweep can account it as lost.
+        self._action_request = None
         self.busy_cycles = 0
         self.actions_run = 0
         self.signals_sent = 0
@@ -106,8 +113,13 @@ class Dispatcher:
         if probes is not None:
             probes.dispatcher_action(self.sim.now, name, cost)
 
+        epoch = self.crash_epoch
+
         def finish():
+            if self.crash_epoch != epoch:
+                return  # the server crashed mid-action; the sweep took over
             self._in_action = False
+            self._action_request = None
             on_done()
             self._next()
 
@@ -116,6 +128,9 @@ class Dispatcher:
     def _next(self):
         if self._in_action or self._steal is not None:
             return
+        faults = self.server.faults
+        if faults is not None and faults.down:
+            return  # crashed: the dispatcher core is dark until recovery
         costs = self.server.costs
 
         # 1. Preemption signals: skip stale entries (the worker already
@@ -137,6 +152,7 @@ class Dispatcher:
         # 2. Preempted contexts returning to the central queue.
         if self.requeues:
             request = self.requeues.popleft()
+            self._action_request = request
             self._run_action(
                 costs.requeue,
                 lambda r=request: self._push_preempted(r),
@@ -147,6 +163,7 @@ class Dispatcher:
         # 3. New packets.
         if self.rx:
             request = self.rx.popleft()
+            self._action_request = request
             self._run_action(
                 costs.rx,
                 lambda r=request: self._push_new(r),
@@ -160,6 +177,7 @@ class Dispatcher:
             if target is not None:
                 request = self.server.policy.pop()
                 cost = costs.push + costs.jbsq_scan
+                self._action_request = request
                 self._run_action(
                     cost,
                     lambda r=request, w=target: self._complete_dispatch(r, w),
@@ -277,6 +295,8 @@ class Dispatcher:
 
     def _finish_slice(self):
         st = self._steal
+        if st is None:
+            return  # the crash sweep already reclaimed the slice
         self._steal = None
         self._steal_stop_pending = False
         now = self.sim.now
@@ -313,6 +333,8 @@ class Dispatcher:
 
     def _pause_steal(self):
         st = self._steal
+        if st is None:
+            return  # the crash sweep already reclaimed the slice
         self._steal = None
         self._steal_stop_pending = False
         now = self.sim.now

@@ -113,11 +113,14 @@ class SimResult:
     def slowdowns(self, warmup_frac=0.1):
         """Per-request slowdowns, discarding the warmup prefix by arrival
         order (section 5.1 discards the first 10% of samples)."""
-        ordered = sorted(self.records, key=lambda r: r.arrival_cycle)
-        skip = int(len(ordered) * warmup_frac)
-        return [r.slowdown() for r in ordered[skip:]]
+        return [r.slowdown() for r in self.measured_records(warmup_frac)]
 
     def measured_records(self, warmup_frac=0.1):
+        # Imported lazily: repro.metrics imports the server module (the
+        # sweep harness), so a top-level import would be circular.
+        from repro.metrics.slowdown import check_warmup_frac
+
+        check_warmup_frac(warmup_frac)
         ordered = sorted(self.records, key=lambda r: r.arrival_cycle)
         skip = int(len(ordered) * warmup_frac)
         return ordered[skip:]
@@ -242,6 +245,13 @@ class Server:
         #: Optional callback fired on every completion — the seam the
         #: cluster load balancer uses to observe replies.
         self.on_complete = None
+        #: Per-server fault state (:mod:`repro.faults`).  None — the
+        #: default, and the only value single-server runs ever see — keeps
+        #: every fault hook down to a single falsy check, mirroring
+        #: ``probes``.  The rack's FaultInjector installs a
+        #: :class:`~repro.faults.injector.ServerFaultState` when a plan
+        #: targets this server.
+        self.faults = None
         self._ran = False
         self._arrivals = {"count": 0, "first": None, "last": None}
         #: Probe bus (observability layer).  Explicit ``probes`` wins;
@@ -298,6 +308,13 @@ class Server:
         slowdowns measure the server sojourn, exactly as in the
         single-server runs.
         """
+        faults = self.faults
+        if faults is not None and faults.down:
+            # Crashed: the NIC is dark; the packet evaporates.  The
+            # injector accounts the loss so the rack's drain bookkeeping
+            # stays exact.
+            faults.injector.lost_total += 1
+            return
         cycle = self.sim.now
         if request.arrival_cycle is None:
             request.arrival_cycle = cycle
@@ -315,7 +332,13 @@ class Server:
     def inflight(self):
         """Requests delivered but not yet completed — the queue-length
         telemetry signal an inter-server balancer observes."""
-        return self._arrivals["count"] - len(self.completed)
+        n = self._arrivals["count"] - len(self.completed)
+        faults = self.faults
+        if faults is not None:
+            # Requests swept at crash instants never complete; without this
+            # the dead server would carry a phantom queue forever.
+            n -= faults.lost_inflight
+        return n
 
     @property
     def num_delivered(self):

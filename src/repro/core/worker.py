@@ -181,6 +181,20 @@ class Worker:
         if epoch != self.epoch or self.current is None:
             self.wasted_signals += 1
             return
+        faults = self.server.faults
+        if faults is not None:
+            # Fault injection: a stall window swallows the probe until the
+            # window ends; a dropout window loses it for one re-probe
+            # period.  Either way the notification is re-armed, not lost —
+            # if the request finishes first, the stale-epoch check above
+            # drops the re-fire.
+            retry_at = faults.preempt_retry_at(self.sim.now, self.wid)
+            if retry_at is not None:
+                self.sim.at(
+                    retry_at, lambda: self.on_preempt_signal(epoch),
+                    "fault-reprobe",
+                )
+                return
         now = self.sim.now
         request = self.current
         executed = int((now - self.run_start) // self.server.worker_rate)

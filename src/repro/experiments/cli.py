@@ -140,6 +140,59 @@ def _build_parser():
     _add_parallel_args(rack_parser)
     tracecmd.add_trace_args(rack_parser)
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="run a fault-injection scenario against one rack and compare "
+             "resilience mechanisms",
+    )
+    faults_parser.add_argument(
+        "--scenario", default="crash",
+        choices=["crash", "crash-requeue", "blackout", "stall", "degrade"],
+        help="what breaks (default: crash)",
+    )
+    faults_parser.add_argument(
+        "--servers", type=int, default=4, help="servers behind the balancer"
+    )
+    faults_parser.add_argument(
+        "--workers", type=int, default=4, help="worker threads per server"
+    )
+    faults_parser.add_argument(
+        "--system", default="concord",
+        help="intra-server mechanism (see 'compare --systems')",
+    )
+    faults_parser.add_argument(
+        "--policy", default="jsq", help="inter-server routing policy"
+    )
+    faults_parser.add_argument(
+        "--workload", default="bimodal-50-1-50-100",
+        help="named workload (see repro.workloads.NAMED_WORKLOADS)",
+    )
+    faults_parser.add_argument(
+        "--load-frac", type=float, default=0.75,
+        help="offered load as a fraction of nominal rack capacity",
+    )
+    faults_parser.add_argument(
+        "--requests", type=int, default=8_000, help="arrivals to simulate"
+    )
+    faults_parser.add_argument(
+        "--quantum-us", type=float, default=5.0, help="scheduling quantum"
+    )
+    faults_parser.add_argument(
+        "--fault-at-frac", type=float, default=0.25,
+        help="fault onset as a fraction of the run's arrival span",
+    )
+    faults_parser.add_argument(
+        "--fault-duration-frac", type=float, default=0.3,
+        help="fault duration as a fraction of the run's arrival span",
+    )
+    faults_parser.add_argument(
+        "--fault-server", type=int, default=0,
+        help="target server index for crash/stall scenarios",
+    )
+    faults_parser.add_argument("--seed", type=int, default=1)
+    _add_parallel_args(faults_parser)
+    tracecmd.add_trace_args(faults_parser)
+
     tracecmd.add_trace_subcommand(sub)
     return parser
 
@@ -287,6 +340,96 @@ def _run_rack(args, stream):
     return 0
 
 
+def _fault_plan_for(args, span_us):
+    """Build the scenario's FaultPlan from the shared timing flags."""
+    from repro.faults import (
+        FabricDegradation, FaultPlan, ServerCrash, TelemetryBlackout,
+        WorkerStall,
+    )
+
+    at = args.fault_at_frac * span_us
+    duration = args.fault_duration_frac * span_us
+    if args.scenario in ("crash", "crash-requeue"):
+        fault = ServerCrash(
+            at_us=at, down_us=duration, server=args.fault_server,
+            requeue_inflight=args.scenario == "crash-requeue",
+        )
+    elif args.scenario == "blackout":
+        fault = TelemetryBlackout(at_us=at, duration_us=duration)
+    elif args.scenario == "stall":
+        fault = WorkerStall(
+            at_us=at, duration_us=duration, server=args.fault_server,
+        )
+    else:
+        fault = FabricDegradation(at_us=at, duration_us=duration,
+                                  multiplier=8.0)
+    return FaultPlan(faults=(fault,), name=args.scenario)
+
+
+def _run_faults(args, stream):
+    from repro.faults import ResilienceConfig
+    from repro.hardware import c6420
+    from repro.metrics import format_table
+    from repro.parallel import FaultJob
+    from repro.workloads import workload_by_name
+
+    runner = _build_runner(args, stream)
+    workload = workload_by_name(args.workload)
+    machine = c6420(args.workers)
+    rack_capacity = args.servers * args.workers * 1e6 / workload.mean_us()
+    load = args.load_frac * rack_capacity
+    span_us = args.requests / load * 1e6
+    try:
+        factory = _SYSTEM_FACTORIES[args.system]
+    except KeyError:
+        raise KeyError(
+            "unknown system {!r}; known: {}".format(
+                args.system, ", ".join(sorted(_SYSTEM_FACTORIES))
+            )
+        ) from None
+    plan = _fault_plan_for(args, span_us)
+    rows_spec = [
+        ("fault-free", None, None),
+        ("faulted", plan, None),
+        ("faulted+retry", plan, ResilienceConfig.retry_only()),
+        ("faulted+hedge", plan, ResilienceConfig.hedged()),
+    ]
+    with tracecmd.maybe_traced(args, stream, default_out="faults-trace.json"):
+        outcomes = runner.map([
+            FaultJob(
+                machine=machine, config=factory(args.quantum_us),
+                num_servers=args.servers, policy=args.policy,
+                workload=workload, load_rps=load,
+                num_requests=args.requests, seed=args.seed,
+                fault_plan=fault_plan, resilience=resilience,
+            )
+            for _label, fault_plan, resilience in rows_spec
+        ])
+    rows = []
+    for (label, _plan, _res), outcome in zip(rows_spec, outcomes):
+        mttr = outcome["mttr_us"]
+        rows.append([
+            label, outcome["p50"], outcome["p99"], outcome["p999"],
+            round(outcome["goodput"], 4),
+            round(outcome["slo_goodput"], 4),
+            round(mttr, 1) if mttr == mttr else "-",
+            outcome["lost"], outcome["retries"], outcome["hedges"],
+            outcome["shed"],
+        ])
+    print(format_table(
+        ["mode", "p50", "p99", "p99.9", "goodput", "slo_goodput", "mttr_us",
+         "lost", "retries", "hedges", "shed"],
+        rows,
+        title="{} scenario: {} x{} rack [{}], {} at {:.0f} kRps "
+              "({:.0%} of capacity)".format(
+                  args.scenario, args.system, args.servers, args.policy,
+                  workload.name, load / 1e3, args.load_frac),
+    ), file=stream)
+    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+        print("  " + runner.summary_line(), file=stream)
+    return 0
+
+
 def _run_one(experiment_id, quality, seed, out_dir, stream, plot=False,
              runner=None):
     started = time.time()  # repro-san: ignore[DET001] -- times the run for the progress footer only; never enters results
@@ -332,6 +475,9 @@ def main(argv=None, stream=None):
 
     if args.command == "rack":
         return _run_rack(args, stream)
+
+    if args.command == "faults":
+        return _run_faults(args, stream)
 
     if args.command == "trace":
         return tracecmd.run_trace_command(args, stream)

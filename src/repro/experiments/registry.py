@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments import (
     ext_cluster,
+    ext_faults,
     ext_jbsq,
     ext_policies,
     ext_safety,
@@ -112,6 +113,12 @@ EXPERIMENTS = {
             "Extension: rack-scale inter-server scheduling over Concord "
             "servers",
             ext_cluster.run,
+        ),
+        ExperimentSpec(
+            "ext-faults",
+            "Extension: fault-injection degradation curves and "
+            "crash-recovery resilience",
+            ext_faults.run,
         ),
         ExperimentSpec(
             "ext-jbsq", "Extension: JBSQ(k) depth ablation", ext_jbsq.run

@@ -1,0 +1,125 @@
+"""Sim-time failure detection at the balancer.
+
+A φ-accrual detector would be overkill here; this is the deterministic
+timeout detector real rack schedulers deploy: a server is **suspected**
+when it has outstanding attempts and has not replied for longer than the
+suspicion timeout.  Suspected servers are excluded from routing until a
+probationary re-admission after ``probation_us`` — if the server is still
+dark, the probe attempts time out and the next detector tick re-suspects
+it; if it recovered, replies flow and suspicion clears naturally.  Every
+threshold is a fixed sim-time constant and the check walks servers in
+index order, so detection and recovery instants are bit-reproducible.
+"""
+
+from dataclasses import dataclass
+
+from repro import constants
+
+__all__ = ["DetectorConfig", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Deterministic thresholds, all in simulated microseconds."""
+
+    suspicion_timeout_us: float = constants.FAULT_SUSPICION_TIMEOUT_US
+    check_interval_us: float = constants.FAULT_DETECTOR_INTERVAL_US
+    probation_us: float = constants.FAULT_PROBATION_US
+
+    def __post_init__(self):
+        if self.suspicion_timeout_us <= 0:
+            raise ValueError("suspicion_timeout_us must be > 0")
+        if self.check_interval_us <= 0:
+            raise ValueError("check_interval_us must be > 0")
+        if self.probation_us <= 0:
+            raise ValueError("probation_us must be > 0")
+
+
+class FailureDetector:
+    """Timeout-based suspicion over ``num_servers`` rack members."""
+
+    def __init__(self, clock, num_servers, config=None):
+        self.config = config if config is not None else DetectorConfig()
+        self.num_servers = num_servers
+        self.suspicion_cycles = clock.us_to_cycles(
+            self.config.suspicion_timeout_us
+        )
+        self.probation_cycles = clock.us_to_cycles(self.config.probation_us)
+        self.check_interval_cycles = max(
+            1, clock.us_to_cycles(self.config.check_interval_us)
+        )
+        #: Last reply instant per server; None until the first send sets a
+        #: baseline (a server never sent to is never suspected).
+        self.last_reply = [None] * num_servers
+        self.outstanding = [0] * num_servers
+        self._suspected = [False] * num_servers
+        self._readmit_at = [0] * num_servers
+        self.suspicions = 0
+        self.readmissions = 0
+        #: ``[server, suspect_cycle, clear_cycle_or_None]`` timeline rows.
+        self.intervals = []
+        self._open = [None] * num_servers
+
+    # -- traffic hooks (called by the resilience manager) -----------------------
+
+    def on_send(self, index, now):
+        self.outstanding[index] += 1
+        if self.last_reply[index] is None:
+            self.last_reply[index] = now
+
+    def on_reply(self, index, now):
+        if self.outstanding[index] > 0:
+            self.outstanding[index] -= 1
+        self.last_reply[index] = now
+        if self._suspected[index]:
+            self._clear(index, now)
+
+    # -- the periodic check -----------------------------------------------------
+
+    def check(self, now):
+        for index in range(self.num_servers):
+            if self._suspected[index]:
+                if now >= self._readmit_at[index]:
+                    self.readmissions += 1
+                    self._clear(index, now)
+            elif (
+                self.outstanding[index] > 0
+                and self.last_reply[index] is not None
+                and now - self.last_reply[index] > self.suspicion_cycles
+            ):
+                self._suspect(index, now)
+
+    def _suspect(self, index, now):
+        self._suspected[index] = True
+        self._readmit_at[index] = now + self.probation_cycles
+        self.suspicions += 1
+        row = [index, now, None]
+        self._open[index] = row
+        self.intervals.append(row)
+
+    def _clear(self, index, now):
+        self._suspected[index] = False
+        # Fresh grace window: without this, a probationary re-admission
+        # would be re-suspected on the very next tick (outstanding > 0,
+        # last_reply still ancient) before its probe can land.
+        self.last_reply[index] = now
+        row = self._open[index]
+        if row is not None:
+            row[2] = now
+            self._open[index] = None
+
+    # -- queries ----------------------------------------------------------------
+
+    def is_suspected(self, index):
+        return self._suspected[index]
+
+    def suspected(self):
+        """Currently-suspected server indices, ascending."""
+        return [
+            i for i in range(self.num_servers) if self._suspected[i]
+        ]
+
+    def __repr__(self):
+        return "FailureDetector(suspected={}, suspicions={})".format(
+            self.suspected(), self.suspicions
+        )

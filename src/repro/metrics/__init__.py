@@ -1,7 +1,9 @@
 """Measurement utilities: percentiles, slowdown summaries, load sweeps."""
 
 from repro.metrics.percentile import percentile, Histogram
-from repro.metrics.slowdown import SlowdownSummary, summarize_slowdowns
+from repro.metrics.slowdown import (
+    SlowdownSummary, check_warmup_frac, summarize_slowdowns,
+)
 from repro.metrics.sweep import LoadSweep, SweepPoint, knee_load
 from repro.metrics.report import format_table
 from repro.metrics.plot import ascii_plot
@@ -11,6 +13,7 @@ __all__ = [
     "Histogram",
     "SlowdownSummary",
     "summarize_slowdowns",
+    "check_warmup_frac",
     "LoadSweep",
     "SweepPoint",
     "knee_load",

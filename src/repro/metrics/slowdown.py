@@ -10,7 +10,23 @@ from dataclasses import dataclass
 from repro import constants
 from repro.metrics.percentile import percentile
 
-__all__ = ["SlowdownSummary", "summarize_slowdowns"]
+__all__ = ["SlowdownSummary", "summarize_slowdowns", "check_warmup_frac"]
+
+
+def check_warmup_frac(warmup_frac):
+    """Validate a measurement warmup fraction: ``0.0 <= frac < 1.0``.
+
+    0.0 (keep everything) is legal; 1.0 would discard every sample and is
+    almost always a unit-confusion bug (percent vs fraction), so it is
+    rejected loudly along with anything negative.  Returns the value so
+    accessors can validate inline.
+    """
+    if not 0.0 <= warmup_frac < 1.0:
+        raise ValueError(
+            "warmup_frac must be a fraction in [0.0, 1.0), got {!r} "
+            "(1.0 or more would discard every sample)".format(warmup_frac)
+        )
+    return warmup_frac
 
 
 @dataclass(frozen=True)

@@ -190,6 +190,37 @@ class ProbeBus:
             t, ev.REPLY, rid=rid, data={"server": server_index},
         ))
 
+    # -- fault / resilience probes ------------------------------------------
+
+    def server_crashed(self, t, server_index, lost):
+        self.registry.count("faults.crashes")
+        self._emit(ProbeEvent(
+            t, ev.CRASH, data={"server": server_index, "lost": lost},
+        ))
+
+    def server_recovered(self, t, server_index):
+        self.registry.count("faults.recoveries")
+        self._emit(ProbeEvent(
+            t, ev.RECOVER, data={"server": server_index},
+        ))
+
+    def request_retried(self, t, rid, attempt, server_index):
+        self.registry.count("resilience.retries")
+        self._emit(ProbeEvent(
+            t, ev.RETRY, rid=rid,
+            data={"attempt": attempt, "server": server_index},
+        ))
+
+    def request_hedged(self, t, rid, server_index):
+        self.registry.count("resilience.hedges")
+        self._emit(ProbeEvent(
+            t, ev.HEDGE, rid=rid, data={"server": server_index},
+        ))
+
+    def request_shed(self, t, rid):
+        self.registry.count("resilience.shed")
+        self._emit(ProbeEvent(t, ev.SHED, rid=rid))
+
     # -- raw engine events --------------------------------------------------
 
     def sim_event(self, t, name):

@@ -35,6 +35,11 @@ __all__ = [
     "ROUTE",
     "REPLY",
     "SIM",
+    "CRASH",
+    "RECOVER",
+    "RETRY",
+    "HEDGE",
+    "SHED",
     "REQUEST_LIFECYCLE_KINDS",
     "EVENT_KINDS",
 ]
@@ -68,8 +73,21 @@ ROUTE = "route"
 REPLY = "reply"
 #: A raw engine event fired (the deprecated ``trace`` callback's view).
 SIM = "sim"
+#: The fault injector crashed a server (data: server, lost count).
+CRASH = "crash"
+#: A crashed server came back up.
+RECOVER = "recover"
+#: The resilience manager re-launched a timed-out logical request.
+RETRY = "retry"
+#: The resilience manager launched a hedged duplicate attempt.
+HEDGE = "hedge"
+#: Admission control shed an arrival before routing.
+SHED = "shed"
 
 #: Kinds that carry a request id and together form one request's span.
+#: RETRY/HEDGE/SHED deliberately stay out: they are balancer-lane events
+#: about *logical* requests, not stations on one server-side span — span
+#: assembly ignores unknown kinds by design, so traces stay well-formed.
 REQUEST_LIFECYCLE_KINDS = (
     ARRIVAL, ENQUEUE, DISPATCH, START, PREEMPT, STEAL, STEAL_PAUSE,
     COMPLETE, DROP,
@@ -78,6 +96,7 @@ REQUEST_LIFECYCLE_KINDS = (
 #: Every kind a :class:`ProbeEvent` may carry.
 EVENT_KINDS = REQUEST_LIFECYCLE_KINDS + (
     WORKER_IDLE, ACTION, ROUTE, REPLY, SIM,
+    CRASH, RECOVER, RETRY, HEDGE, SHED,
 )
 
 

@@ -4,7 +4,8 @@ simulation jobs with a content-addressed result cache.
 Three layers:
 
 * :mod:`repro.parallel.jobs` — picklable job specs (:class:`SimJob`,
-  :class:`ServerJob`, :class:`RackJob`) whose ``run()`` is a pure function
+  :class:`ServerJob`, :class:`RackJob`, :class:`FaultJob`) whose
+  ``run()`` is a pure function
   of their fields;
 * :mod:`repro.parallel.runner` — :class:`ParallelRunner`, which maps jobs
   across a process pool (or in-process when ``jobs=1`` / pickling fails)
@@ -22,7 +23,9 @@ from repro.parallel.cache import (
     default_cache_dir,
     stable_describe,
 )
-from repro.parallel.jobs import RackJob, ServerJob, SimJob, execute_job
+from repro.parallel.jobs import (
+    FaultJob, RackJob, ServerJob, SimJob, execute_job,
+)
 from repro.parallel.runner import (
     ParallelRunner,
     get_default_runner,
@@ -35,6 +38,7 @@ __all__ = [
     "SimJob",
     "ServerJob",
     "RackJob",
+    "FaultJob",
     "execute_job",
     "ParallelRunner",
     "resolve_jobs",

@@ -33,7 +33,8 @@ __all__ = [
 ]
 
 #: Bump when the key derivation or stored-value layout changes.
-CACHE_SCHEMA_VERSION = 2
+#: 3: fault-injection layer — FaultJob rows, Cluster fault_plan/resilience.
+CACHE_SCHEMA_VERSION = 3
 
 #: CPython's Py_TPFLAGS_HEAPTYPE: set for classes defined in Python.
 _PY_TPFLAGS_HEAPTYPE = 1 << 9

@@ -11,7 +11,7 @@ spawn-based platforms).
 from dataclasses import dataclass
 from typing import Any, Optional
 
-__all__ = ["SimJob", "RackJob", "ServerJob", "execute_job"]
+__all__ = ["SimJob", "RackJob", "ServerJob", "FaultJob", "execute_job"]
 
 
 def execute_job(job):
@@ -126,4 +126,74 @@ class RackJob:
             "imbalance": result.imbalance(),
             "drained": result.drained,
             "completed": len(result.records),
+        }
+
+
+@dataclass(frozen=True)
+class FaultJob:
+    """One faulted (or resilient) rack run, reduced to the degradation-curve
+    row the fault experiments consume.
+
+    ``fault_plan`` / ``resilience`` are frozen dataclasses of plain floats
+    and ints, so the job pickles and caches exactly like :class:`RackJob`;
+    with both left ``None`` it produces the same simulation as a
+    :class:`RackJob` of the same fields (plus the fault columns zeroed).
+    """
+
+    machine: Any
+    config: Any
+    num_servers: int
+    policy: str
+    workload: Any
+    load_rps: float
+    num_requests: int
+    seed: int = 1
+    warmup_frac: float = 0.1
+    fabric: Optional[Any] = None
+    fault_plan: Optional[Any] = None
+    resilience: Optional[Any] = None
+    max_events: int = 120_000_000
+
+    def run(self):
+        from repro.cluster import Cluster
+        from repro.metrics.slowdown import summarize_slowdowns
+        from repro.workloads.arrivals import PoissonProcess
+
+        cluster = Cluster(
+            self.machine, self.config, self.num_servers, policy=self.policy,
+            seed=self.seed, fabric=self.fabric, fault_plan=self.fault_plan,
+            resilience=self.resilience,
+        )
+        result = cluster.run(
+            self.workload, PoissonProcess(self.load_rps), self.num_requests,
+            max_events=self.max_events,
+        )
+        slowdowns = result.slowdowns(self.warmup_frac)
+        summary = summarize_slowdowns(slowdowns) if slowdowns else None
+        mttr = result.mttr_us
+        return {
+            "policy": self.policy,
+            "config": self.config.name,
+            "plan": (
+                self.fault_plan.name if self.fault_plan is not None else None
+            ),
+            "p50": summary.p50 if summary else float("nan"),
+            "p99": summary.p99 if summary else float("nan"),
+            "p999": summary.p999 if summary else float("nan"),
+            "mean": summary.mean if summary else float("nan"),
+            "goodput": result.goodput(),
+            "slo_goodput": result.slo_goodput(self.warmup_frac),
+            "imbalance": result.imbalance(),
+            "completed": len(result.records),
+            "offered": result.num_offered,
+            "drained": result.drained,
+            "crashes": result.crashes,
+            "lost": result.lost,
+            "requeued": result.requeued,
+            "shed": result.shed,
+            "failed": result.failed,
+            "retries": result.retries,
+            "hedges": result.hedges,
+            "timeouts": result.timeouts,
+            "mttr_us": max(mttr) if mttr else float("nan"),
         }

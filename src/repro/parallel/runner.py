@@ -80,6 +80,30 @@ def _run_timed(job):
     return value, seconds
 
 
+def _pickle_culprit(batch):
+    """Name the first unpicklable thing in ``batch``, as precisely as we
+    can: for a dataclass job, probe each field individually so the warning
+    reads ``SimJob.arrival_factory`` instead of an opaque lambda repr."""
+    import dataclasses
+
+    for job in batch:
+        try:
+            pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            name = type(job).__name__
+            if dataclasses.is_dataclass(job):
+                for field in dataclasses.fields(job):
+                    try:
+                        pickle.dumps(
+                            getattr(job, field.name),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    except Exception:
+                        return "{}.{}".format(name, field.name)
+            return name
+    return None
+
+
 class ParallelRunner:
     """Maps job specs to results, in order, with optional parallelism and
     caching.
@@ -174,9 +198,11 @@ class ParallelRunner:
             pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
             return True
         except Exception as exc:
+            culprit = _pickle_culprit(batch)
+            detail = " (culprit: {})".format(culprit) if culprit else ""
             self._note_fallback(
-                "job batch is not picklable ({}); running {} job(s) "
-                "in-process".format(exc, len(batch))
+                "job batch is not picklable ({}){}; running {} job(s) "
+                "in-process".format(exc, detail, len(batch))
             )
             return False
 

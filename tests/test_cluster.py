@@ -224,3 +224,30 @@ class TestTelemetryBoard:
             NetworkFabric(hop_latency_us=-1.0)
         with pytest.raises(ValueError):
             NetworkFabric(telemetry_staleness_us=-1.0)
+
+
+class TestZeroRequestServers:
+    """Regression: summary math must tolerate servers that got nothing.
+
+    A 1-request run over a 4-server rack leaves three servers idle — the
+    shape health-aware draining and shed-everything runs produce at scale.
+    """
+
+    def test_idle_servers_summarize_as_none(self):
+        result = run_rack("jsq", num_requests=1)
+        summaries = result.per_server_summaries(warmup_frac=0.0)
+        assert summaries.count(None) == NUM_SERVERS - 1
+        lone = next(s for s in summaries if s is not None)
+        assert lone.p50 >= 1.0
+
+    def test_imbalance_defined_with_idle_servers(self):
+        result = run_rack("jsq", num_requests=1)
+        assert result.imbalance() == NUM_SERVERS  # max=1, mean=1/4
+        assert result.summary(warmup_frac=0.0).p999 >= 1.0
+
+    def test_imbalance_defined_with_no_requests_routed(self):
+        result = run_rack("jsq", num_requests=1)
+        result.routed = [0] * NUM_SERVERS
+        assert result.imbalance() == 1.0
+        result.routed = []
+        assert result.imbalance() == 1.0

@@ -270,6 +270,23 @@ class TestRunnerMachinery:
             again = runner.map([job])
         assert again[0] == results[0]
 
+    def test_fallback_warning_names_the_unpicklable_field(self):
+        config = RuntimeConfig(
+            name="adhoc-shinjuku", quantum_us=5.0,
+            preemption_factory=lambda machine: __import__(
+                "repro.core.preemption", fromlist=["PostedIPI"]
+            ).PostedIPI(),
+        )
+        job = SimJob(machine=_machine(), config=config,
+                     workload=bimodal_50_1_50_100(), load_rps=2e5,
+                     num_requests=100, seed=1)
+        with pytest.warns(RuntimeWarning) as captured:
+            ParallelRunner(jobs=2).map([job, job])
+        message = str(captured[0].message)
+        # The culprit is the dataclass field holding the lambda, named
+        # precisely so users know what to fix for true parallelism.
+        assert "culprit: SimJob.config" in message
+
     def test_pool_failure_warns_and_falls_back(self, monkeypatch):
         runner = ParallelRunner(jobs=2)
 
