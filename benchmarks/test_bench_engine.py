@@ -1,32 +1,64 @@
-"""Benchmark: raw event-loop throughput.
+"""Benchmark: Engine v2 — event-queue backends, the ``post`` fast-path,
+the compiled IR fast-path, and the persistent worker pool.
 
 Guards the simulator hot path (local bindings, hoisted trace branch, lazy-
-cancellation compaction).  Two shapes:
+cancellation compaction) across **both** queue backends, and writes the
+headline numbers to ``BENCH_engine.json`` at the repo root (the CI perf
+artifact).  Three shapes:
 
 * a plain event chain — the dispatch/completion pattern that dominates
-  every run;
+  every run — in both the handle-returning ``after`` form and the
+  allocation-free ``post`` form;
 * a cancellation storm — the quantum-re-arm pattern (every event cancels a
-  decoy timer) that exercises the dead-entry accounting and amortized heap
-  compaction.
+  decoy timer) that exercises the dead-entry accounting and amortized
+  compaction;
+* a kernel execution shoot-out — the interpreter vs the compiled IR
+  fast-path on an instrumented kernel.
 
-The floors are deliberately conservative (shared CI runners); the real
-numbers land in ``BENCH_parallel.json`` via ``test_bench_parallel.py``.
+Targets from ISSUE 9 (``engine_events_per_sec`` >= 2x the 1,227,182
+baseline recorded in PR 4's ``BENCH_parallel.json``; pool ``speedup >=
+1.5`` at jobs=4 on a non-smoke sweep) are **recorded, not fatal**: shared
+CI runners and low core counts move the wall-clock numbers, and the
+determinism suites are the part that must never regress.
 """
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_engine.json"
 
 CHAIN_EVENTS = 100_000
 STORM_EVENTS = 50_000
 MIN_EVENTS_PER_SEC = 50_000
+
+#: engine_events_per_sec recorded by benchmarks/test_bench_parallel.py in
+#: PR 4 — the floor Engine v2 is measured against.
+BASELINE_EVENTS_PER_SEC = 1_227_182
+ENGINE_TARGET = 2.0   # x over baseline, recorded-not-fatal
+POOL_TARGET = 1.5     # pool speedup at jobs=4, recorded-not-fatal
+
+#: The pool leg must be a non-smoke sweep (ISSUE 9 acceptance); override
+#: only to debug the harness itself.
+POOL_QUALITY = os.environ.get("REPRO_BENCH_POOL_QUALITY", "standard")
+
+BACKENDS = ("heap", "wheel")
 
 
 def _noop():
     return None
 
 
-def _event_chain(num_events):
+def _event_chain(num_events, queue="heap"):
     """num_events self-rescheduling callbacks, no cancellations."""
     from repro.sim.engine import Simulator
 
-    sim = Simulator()
+    sim = Simulator(queue=queue)
     remaining = [num_events]
 
     def step():
@@ -39,12 +71,29 @@ def _event_chain(num_events):
     return sim
 
 
-def _cancellation_storm(num_events):
+def _post_chain(num_events, queue="heap"):
+    """The same chain through ``post`` — no Event allocation, no handle."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(queue=queue)
+    remaining = [num_events]
+
+    def step():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.post(10, step)
+
+    sim.post(0, step)
+    sim.run()
+    return sim
+
+
+def _cancellation_storm(num_events, queue="heap"):
     """Every fired event re-arms a decoy timer and cancels the previous
     one — the preemption-timer pattern that motivated compaction."""
     from repro.sim.engine import Simulator
 
-    sim = Simulator()
+    sim = Simulator(queue=queue)
     remaining = [num_events]
     decoy = [None]
 
@@ -53,7 +102,7 @@ def _cancellation_storm(num_events):
             decoy[0].cancel()
         remaining[0] -= 1
         if remaining[0] > 0:
-            # Far enough out that dead decoys pile up in the heap instead
+            # Far enough out that dead decoys pile up in the queue instead
             # of being popped past by the advancing clock — compaction,
             # not pop-and-skip, must reclaim them.
             decoy[0] = sim.after(10_000_000, _noop)
@@ -71,22 +120,165 @@ def _events_per_sec(sim, benchmark):
     return rate
 
 
-def test_engine_event_chain(benchmark):
+def _timed_rate(fn, *args):
+    """events/sec of one un-benchmarked run (artifact measurements)."""
+    started = time.perf_counter()
+    sim = fn(*args)
+    return sim.events_run / max(time.perf_counter() - started, 1e-9)
+
+
+@pytest.mark.parametrize("queue", BACKENDS)
+def test_engine_event_chain(benchmark, queue):
     sim = benchmark.pedantic(
-        _event_chain, args=(CHAIN_EVENTS,), rounds=3, iterations=1
+        _event_chain, args=(CHAIN_EVENTS, queue), rounds=3, iterations=1
     )
     assert sim.events_run == CHAIN_EVENTS
     assert sim.pending == 0
     assert _events_per_sec(sim, benchmark) > MIN_EVENTS_PER_SEC
 
 
-def test_engine_cancellation_storm(benchmark):
+@pytest.mark.parametrize("queue", BACKENDS)
+def test_engine_post_chain(benchmark, queue):
     sim = benchmark.pedantic(
-        _cancellation_storm, args=(STORM_EVENTS,), rounds=3, iterations=1
+        _post_chain, args=(CHAIN_EVENTS, queue), rounds=3, iterations=1
+    )
+    assert sim.events_run == CHAIN_EVENTS
+    assert sim.pending == 0
+    assert _events_per_sec(sim, benchmark) > MIN_EVENTS_PER_SEC
+
+
+@pytest.mark.parametrize("queue", BACKENDS)
+def test_engine_cancellation_storm(benchmark, queue):
+    sim = benchmark.pedantic(
+        _cancellation_storm, args=(STORM_EVENTS, queue), rounds=3, iterations=1
     )
     assert sim.events_run == STORM_EVENTS
     assert sim.events_cancelled == STORM_EVENTS - 1
-    # Compaction kept the heap from accumulating all the dead timers.
+    # Compaction kept the queue from accumulating all the dead timers.
     assert sim.compactions > 0
     assert sim.heap_size < STORM_EVENTS
     assert _events_per_sec(sim, benchmark) > MIN_EVENTS_PER_SEC / 2
+
+
+def _kernel_executor_seconds(backend):
+    """Wall seconds to execute an instrumented kernel on one IR backend."""
+    from repro.instrument.compile import executor_for
+    from repro.instrument.kernels import KERNELS
+    from repro.instrument.optim import optimize_function
+    from repro.instrument.passes import (
+        CACHELINE_STYLE,
+        LoopUnrollPass,
+        ProbeInsertionPass,
+    )
+
+    module = KERNELS[0].factory()
+    for function in module.functions.values():
+        optimize_function(function)
+    probe_pass = ProbeInsertionPass(CACHELINE_STYLE)
+    for function in module.functions.values():
+        probe_pass.run(function)
+    unroll = LoopUnrollPass(discount=True)
+    for function in module.functions.values():
+        unroll.run(function)
+    executor = executor_for(module, backend=backend)
+    started = time.perf_counter()
+    result = executor.run()
+    return time.perf_counter() - started, result
+
+
+def _pool_sweep_speedup(jobs):
+    """Run the Fig. 6-shaped sweep through a persistent pool and return
+    the runner's own speedup estimate (in-worker compute seconds vs pool
+    wall) plus the footer line."""
+    from repro.core.presets import concord, persephone_fcfs, shinjuku
+    from repro.experiments.common import load_grid, scale_for, sweep_systems
+    from repro.hardware import c6420
+    from repro.parallel import ParallelRunner
+    from repro.workloads.named import bimodal_50_1_50_100
+
+    scale = scale_for(POOL_QUALITY)
+    machine = c6420()
+    workload = bimodal_50_1_50_100()
+    max_load = machine.num_workers * 1e6 / workload.mean_us()
+    loads = load_grid(max_load, scale.load_points)
+    configs = [persephone_fcfs(), shinjuku(5.0), concord(5.0)]
+    with ParallelRunner(jobs=jobs) as runner:
+        started = time.perf_counter()
+        sweep_systems(
+            machine, configs, workload, loads, scale.num_requests, seed=1,
+            runner=runner,
+        )
+        wall = time.perf_counter() - started
+        return runner.parallel_speedup(), runner.summary_line(), wall
+
+
+def test_engine_artifact(benchmark):
+    """Measure the Engine v2 headline numbers and write BENCH_engine.json.
+
+    Everything against the ISSUE 9 targets is recorded-not-fatal; the only
+    hard assertions are structural (the runs completed, the artifact is
+    well-formed).
+    """
+    rates = {}
+    for queue in BACKENDS:
+        rates["chain_{}".format(queue)] = _timed_rate(
+            _event_chain, CHAIN_EVENTS, queue
+        )
+        rates["post_{}".format(queue)] = _timed_rate(
+            _post_chain, CHAIN_EVENTS, queue
+        )
+
+    interp_seconds, interp_result = _kernel_executor_seconds("interp")
+    compiled_seconds, compiled_result = _kernel_executor_seconds("compiled")
+    assert interp_result.cycles == compiled_result.cycles
+    kernel_speedup = interp_seconds / max(compiled_seconds, 1e-9)
+
+    pool_speedup, pool_footer, pool_wall = benchmark.pedantic(
+        _pool_sweep_speedup, args=(4,), rounds=1, iterations=1
+    )
+
+    engine_events_per_sec = max(rates.values())
+    engine_ratio = engine_events_per_sec / BASELINE_EVENTS_PER_SEC
+    artifact = {
+        "schema": 1,
+        "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
+        "engine_events_per_sec": round(engine_events_per_sec),
+        "engine_speedup_vs_baseline": round(engine_ratio, 3),
+        "engine_target": ENGINE_TARGET,
+        "engine_target_ok": engine_ratio >= ENGINE_TARGET,
+        "events_per_sec": {k: round(v) for k, v in sorted(rates.items())},
+        "compiled_kernel_speedup": round(kernel_speedup, 2),
+        "pool": {
+            "jobs": 4,
+            "quality": POOL_QUALITY,
+            "wall_seconds": round(pool_wall, 3),
+            "speedup": round(pool_speedup, 3) if pool_speedup else None,
+            "target": POOL_TARGET,
+            "target_ok": (
+                pool_speedup >= POOL_TARGET
+                if pool_speedup is not None else None
+            ),
+            "footer": pool_footer,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    benchmark.extra_info.update(artifact)
+
+    if engine_ratio < ENGINE_TARGET:
+        warnings.warn(
+            "engine_events_per_sec {:.0f} is {:.2f}x baseline, below the "
+            "{:.1f}x target".format(
+                engine_events_per_sec, engine_ratio, ENGINE_TARGET
+            ),
+            stacklevel=1,
+        )
+    if pool_speedup is not None and pool_speedup < POOL_TARGET:
+        warnings.warn(
+            "pool speedup {:.2f}x below target {:.2f}x — {}".format(
+                pool_speedup, POOL_TARGET, pool_footer
+            ),
+            stacklevel=1,
+        )
+
+    assert kernel_speedup > 1.0  # compiling must never be a pessimization
+    assert pool_footer.startswith("[runner:")

@@ -15,11 +15,17 @@ that must never regress.
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_parallel.json"
 QUALITY = os.environ.get("REPRO_BENCH_QUALITY", "smoke")
+#: Tracked (non-fatal) floor: the pool must not make the sweep slower.
+#: Measured against the pool's own estimate (in-worker compute seconds vs
+#: pool wall), which is meaningful even on a 1-core runner where the
+#: end-to-end wall-clock ratio legitimately sits near 1.0.
+SPEEDUP_TARGET = 0.95
 
 
 def _fig6_sweep(runner, scale):
@@ -69,14 +75,18 @@ def test_parallel_sweep_and_cache(benchmark, tmp_path):
     serial_seconds = time.perf_counter() - started
 
     cache_dir = tmp_path / "cache"
+    pool_runner = ParallelRunner(jobs=jobs, cache=ResultCache(cache_dir))
     started = time.perf_counter()
     parallel = benchmark.pedantic(
         _fig6_sweep,
-        args=(ParallelRunner(jobs=jobs, cache=ResultCache(cache_dir)), scale),
+        args=(pool_runner, scale),
         rounds=1,
         iterations=1,
     )
     parallel_seconds = time.perf_counter() - started
+    pool_speedup = pool_runner.parallel_speedup()
+    runner_footer = pool_runner.summary_line()
+    pool_runner.close()
 
     warm_runner = ParallelRunner(jobs=1, cache=ResultCache(cache_dir))
     started = time.perf_counter()
@@ -108,9 +118,26 @@ def test_parallel_sweep_and_cache(benchmark, tmp_path):
         "warm_over_cold": round(warm_over_cold, 4),
         "engine_events_per_sec": round(events_per_sec),
         "points_identical": True,
+        "pool_speedup": round(pool_speedup, 3) if pool_speedup else None,
+        "pool_speedup_target": SPEEDUP_TARGET,
+        "pool_speedup_ok": (
+            pool_speedup >= SPEEDUP_TARGET if pool_speedup is not None else None
+        ),
+        "runner_footer": runner_footer,
     }
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
     benchmark.extra_info.update(artifact)
+
+    # Tracked, non-fatal: the persistent pool should beat its estimated
+    # serial cost.  A shared/1-core CI runner can dip below the target, so
+    # a miss warns loudly (and lands in the artifact) instead of failing.
+    if pool_speedup is not None and pool_speedup < SPEEDUP_TARGET:
+        warnings.warn(
+            "pool speedup {:.2f}x below target {:.2f}x — {}".format(
+                pool_speedup, SPEEDUP_TARGET, runner_footer
+            ),
+            stacklevel=1,
+        )
 
     # Sanity floors only — the speedup itself is environment-dependent and
     # recorded rather than asserted (see module docstring).

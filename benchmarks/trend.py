@@ -1,0 +1,65 @@
+"""Print the perf trajectory across the repo's BENCH_*.json artifacts.
+
+Each benchmark PR leaves one artifact at the repo root (parallel -> obs ->
+faults -> engine).  This helper lines their shared metrics up side by side
+so drift across PRs is visible at a glance:
+
+    PYTHONPATH=src python benchmarks/trend.py [REPO_ROOT]
+
+For a focused two-artifact diff use the CLI instead:
+
+    concord-repro bench-diff BENCH_parallel.json BENCH_engine.json
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.benchdiff import TRAJECTORY, load_metrics
+
+
+def trajectory_paths(root):
+    """The canonical artifacts that actually exist under ``root``."""
+    root = Path(root)
+    return [root / name for name in TRAJECTORY if (root / name).exists()]
+
+
+def render_trend(root):
+    """One aligned table: artifacts as columns, metrics as rows."""
+    paths = trajectory_paths(root)
+    if not paths:
+        return "no BENCH_*.json artifacts under {}".format(root)
+    columns = [(p.name.replace("BENCH_", "").replace(".json", ""),
+                load_metrics(p)) for p in paths]
+    keys = sorted({key for _name, metrics in columns for key in metrics})
+
+    def fmt(value):
+        if value is None:
+            return "-"
+        if value == int(value) and abs(value) >= 1000:
+            return "{:,}".format(int(value))
+        return "{:g}".format(round(value, 4))
+
+    rows = [["metric"] + [name for name, _m in columns]]
+    for key in keys:
+        rows.append([key] + [fmt(m.get(key)) for _n, m in columns])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = []
+    for n, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        ).rstrip())
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else Path(__file__).resolve().parent.parent
+    print(render_trend(root))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

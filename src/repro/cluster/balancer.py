@@ -94,7 +94,7 @@ class LoadBalancer:
     def _schedule_next(self):
         self._t_us += self._arrival.next_gap_us(self.rng_arrival)
         cycle = self.clock.us_to_cycles(self._t_us)
-        self.sim.at(max(cycle, self.sim.now), self._fire, "lb-arrival")
+        self.sim.post_at(max(cycle, self.sim.now), self._fire, "lb-arrival")
 
     def _fire(self):
         kind, service_us = self._workload.sample_class(self.rng_service)
@@ -161,7 +161,7 @@ class LoadBalancer:
             probes.request_routed(now, request, index)
         server = self.servers[index]
         delay = self._hop_delay()
-        self.sim.after(
+        self.sim.post(
             delay, lambda: server.deliver(request), "net-deliver"
         )
         return index
@@ -182,7 +182,7 @@ class LoadBalancer:
         def on_complete(request):
             delay = self.fabric.hop_cycles(self.clock, self.rng_net)
             rid = request.rid
-            self.sim.after(
+            self.sim.post(
                 delay, lambda: self._reply_landed(index, rid), "net-reply"
             )
 
@@ -237,14 +237,14 @@ class LoadBalancer:
             )
             if injector is not None:
                 delay = injector.scale_hop(self.sim.now, delay)
-            self.sim.after(
+            self.sim.post(
                 delay,
                 lambda i=index, v=value: self._apply_report(i, v),
                 "telemetry",
             )
         if self.accounted():
             return  # the rack has drained; stop pumping so the heap empties
-        self.sim.after(
+        self.sim.post(
             self.clock.us_to_cycles(self.fabric.telemetry_interval_us),
             self._telemetry_tick,
             "telemetry-tick",

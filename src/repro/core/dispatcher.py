@@ -81,7 +81,7 @@ class Dispatcher:
             # busy sending a request to another worker").
             delay = self.server.poll_discovery_delay()
             if delay > 0:
-                self.sim.after(
+                self.sim.post(
                     delay, lambda: self._register_ready(worker), "flag-poll"
                 )
                 return
@@ -123,7 +123,7 @@ class Dispatcher:
             on_done()
             self._next()
 
-        self.sim.after(cost, finish, name)
+        self.sim.post(cost, finish, name)
 
     def _next(self):
         if self._in_action or self._steal is not None:
@@ -246,7 +246,7 @@ class Dispatcher:
         if worker.current is not None:
             elapsed = max(0, self.sim.now - (worker.run_start or self.sim.now))
             delay += self.server.defer_cycles(worker.current.kind, elapsed)
-        self.sim.after(
+        self.sim.post(
             int(delay), lambda: worker.on_preempt_signal(epoch), "notice"
         )
 
@@ -329,7 +329,7 @@ class Dispatcher:
             return
         self._steal_stop_pending = True
         st["end_event"].cancel()
-        self.sim.at(stop_at, self._pause_steal, "d-steal-pause")
+        self.sim.post_at(stop_at, self._pause_steal, "d-steal-pause")
 
     def _pause_steal(self):
         st = self._steal

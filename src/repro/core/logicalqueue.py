@@ -139,11 +139,11 @@ class _LqWorker:
 
         duration = int(math.ceil(request.remaining_cycles * costs.worker_rate))
         completion_at = run_start + duration
-        self.sim.at(completion_at, lambda: self._on_complete(epoch), "lq-done")
+        self.sim.post_at(completion_at, lambda: self._on_complete(epoch), "lq-done")
 
         quantum = costs.quantum_cycles
         if quantum is not None and completion_at > run_start + quantum:
-            self.sim.at(
+            self.sim.post_at(
                 run_start + quantum,
                 lambda: costs.scheduler.enqueue_check(self, epoch),
                 "lq-quantum",
@@ -183,7 +183,7 @@ class _LqWorker:
         # Locality-preserving: the preempted request rejoins this worker's
         # own queue tail (section 3.1's locality discussion).
         self.queue.append(request)
-        self.sim.after(
+        self.sim.post(
             self.server.disruption + self.server.context_switch,
             lambda: self._after(self.sim.now),
             "lq-yielded",
@@ -235,12 +235,12 @@ class _Scheduler:
                 if w.current is not None:
                     elapsed = max(0, self.sim.now - (w.run_start or 0))
                     delay += self.server.defer_cycles(w.current.kind, elapsed)
-                self.sim.after(
+                self.sim.post(
                     int(delay), lambda: w.on_preempt_signal(e), "lq-notice"
                 )
                 self._kick()
 
-            self.sim.after(cost, fire, "lq-signal")
+            self.sim.post(cost, fire, "lq-signal")
             return
 
 
@@ -340,7 +340,7 @@ class LogicalQueueServer:
         def schedule_next():
             state["t_us"] += arrival.next_gap_us(self.rng_arrival)
             cycle = self.clock.us_to_cycles(state["t_us"])
-            self.sim.at(max(cycle, self.sim.now), fire_arrival, "lq-arrival")
+            self.sim.post_at(max(cycle, self.sim.now), fire_arrival, "lq-arrival")
 
         schedule_next()
         until = self.clock.us_to_cycles(until_us) if until_us is not None else None

@@ -432,7 +432,7 @@ class Server:
             except StopIteration:
                 return
             cycle = self.clock.us_to_cycles(t_us)
-            self.sim.at(max(cycle, self.sim.now), lambda: fire(request),
+            self.sim.post_at(max(cycle, self.sim.now), lambda: fire(request),
                         "arrival")
 
         schedule_next()

@@ -124,7 +124,7 @@ class Worker:
 
         duration = int(math.ceil(request.remaining_cycles * self.server.worker_rate))
         completion_at = run_start + duration
-        self.sim.at(completion_at, lambda: self._on_complete(epoch), "w-complete")
+        self.sim.post_at(completion_at, lambda: self._on_complete(epoch), "w-complete")
 
         quantum = self.server.quantum_cycles
         if (
@@ -135,7 +135,7 @@ class Worker:
             expiry = run_start + quantum
             mech = self.server.mechanism
             if mech.needs_dispatcher_signal:
-                self.sim.at(
+                self.sim.post_at(
                     expiry,
                     lambda: self.server.dispatcher.enqueue_preempt(self, epoch),
                     "quantum-expiry",
@@ -147,7 +147,7 @@ class Worker:
                 delay = mech.notice_delay_cycles(rng) + self.server.defer_cycles(
                     request.kind, elapsed_cycles=quantum
                 )
-                self.sim.at(
+                self.sim.post_at(
                     expiry + int(delay),
                     lambda: self.on_preempt_signal(epoch),
                     "self-preempt",
@@ -190,7 +190,7 @@ class Worker:
             # drops the re-fire.
             retry_at = faults.preempt_retry_at(self.sim.now, self.wid)
             if retry_at is not None:
-                self.sim.at(
+                self.sim.post_at(
                     retry_at, lambda: self.on_preempt_signal(epoch),
                     "fault-reprobe",
                 )
@@ -216,7 +216,7 @@ class Worker:
         self.epoch += 1
         self._switching_until = yield_done
         self.server.dispatcher.enqueue_requeue(request)
-        self.sim.at(yield_done, lambda: self._after_yield(), "w-yielded")
+        self.sim.post_at(yield_done, lambda: self._after_yield(), "w-yielded")
 
     def _after_yield(self):
         self._switching_until = None

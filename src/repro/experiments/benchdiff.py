@@ -1,0 +1,116 @@
+"""Compare BENCH_*.json perf artifacts: ``concord-repro bench-diff``.
+
+Each benchmark suite writes a flat-ish JSON artifact at the repo root
+(``BENCH_parallel.json``, ``BENCH_obs.json``, ``BENCH_faults.json``,
+``BENCH_engine.json``).  This module diffs two of them metric-by-metric so
+a perf regression shows up as a signed delta in PR review instead of two
+opaque blobs.  ``benchmarks/trend.py`` builds on the same helpers to print
+the whole trajectory at once.
+"""
+
+import json
+
+__all__ = [
+    "TRAJECTORY",
+    "flatten_metrics",
+    "load_metrics",
+    "diff_metrics",
+    "format_diff",
+]
+
+#: Canonical artifact order — the PR sequence that produced them.
+TRAJECTORY = (
+    "BENCH_parallel.json",
+    "BENCH_obs.json",
+    "BENCH_faults.json",
+    "BENCH_engine.json",
+)
+
+#: Metrics where *down* is an improvement (times, overheads, slowdowns).
+_LOWER_IS_BETTER = ("seconds", "slowdown", "overhead", "wall")
+
+
+def flatten_metrics(doc, prefix=""):
+    """Flatten nested dicts to dotted keys, keeping numeric leaves only.
+
+    Booleans and strings (targets hit, footers, config echoes) are context,
+    not metrics, and diffing them as numbers would be nonsense.
+    """
+    flat = {}
+    for key, value in doc.items():
+        dotted = "{}.{}".format(prefix, key) if prefix else key
+        if isinstance(value, dict):
+            flat.update(flatten_metrics(value, dotted))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+    return flat
+
+
+def load_metrics(path):
+    """Numeric metrics of one artifact, as ``{dotted_key: float}``."""
+    with open(path) as f:
+        return flatten_metrics(json.load(f))
+
+
+def diff_metrics(old, new):
+    """Rows of ``(key, old, new, delta, pct)`` over the union of keys.
+
+    Metrics present on only one side get ``None`` for the missing value
+    and no delta — an artifact gaining or losing a metric is itself worth
+    seeing in review.
+    """
+    rows = []
+    for key in sorted(set(old) | set(new)):
+        a, b = old.get(key), new.get(key)
+        if a is None or b is None:
+            rows.append((key, a, b, None, None))
+            continue
+        delta = b - a
+        pct = (delta / a * 100.0) if a else None
+        rows.append((key, a, b, delta, pct))
+    return rows
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) >= 1000:
+        return "{:,}".format(int(value))
+    return "{:g}".format(round(value, 4))
+
+
+def _direction(key, delta):
+    """Flag deltas that moved against the metric's good direction, so a
+    regression can't hide in a wall of rows."""
+    if delta is None or delta == 0:
+        return ""
+    lower_better = any(tag in key for tag in _LOWER_IS_BETTER)
+    worse = (delta > 0) if lower_better else (delta < 0)
+    return "  (regressed)" if worse else ""
+
+
+def format_diff(name_old, name_new, rows):
+    """Render diff rows as an aligned text table."""
+    header = ("metric", name_old, name_new, "delta", "%")
+    cells = [header]
+    for key, a, b, delta, pct in rows:
+        cells.append((
+            key,
+            _fmt(a),
+            _fmt(b),
+            ("{:+g}".format(round(delta, 4)) if delta is not None else "-"),
+            ("{:+.1f}%".format(pct) if pct is not None else "-")
+            + _direction(key, delta),
+        ))
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        ).rstrip())
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

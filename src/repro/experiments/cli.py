@@ -193,8 +193,43 @@ def _build_parser():
     _add_parallel_args(faults_parser)
     tracecmd.add_trace_args(faults_parser)
 
+    diff_parser = sub.add_parser(
+        "bench-diff",
+        help="print per-metric deltas between two BENCH_*.json artifacts",
+    )
+    diff_parser.add_argument(
+        "bench_old", metavar="BENCH_A.json",
+        help="baseline artifact (e.g. BENCH_parallel.json)",
+    )
+    diff_parser.add_argument(
+        "bench_new", metavar="BENCH_B.json",
+        help="candidate artifact (e.g. BENCH_engine.json)",
+    )
+
     tracecmd.add_trace_subcommand(sub)
     return parser
+
+
+def _run_bench_diff(args, stream):
+    from repro.experiments.benchdiff import (
+        diff_metrics,
+        format_diff,
+        load_metrics,
+    )
+
+    try:
+        old = load_metrics(args.bench_old)
+        new = load_metrics(args.bench_new)
+    except (OSError, ValueError) as exc:
+        print("concord-repro: error: {}".format(exc), file=sys.stderr)
+        return 2
+    rows = diff_metrics(old, new)
+    print(
+        format_diff(os.path.basename(args.bench_old),
+                    os.path.basename(args.bench_new), rows),
+        file=stream,
+    )
+    return 0
 
 
 def _build_runner(args, stream=None):
@@ -478,6 +513,9 @@ def main(argv=None, stream=None):
 
     if args.command == "faults":
         return _run_faults(args, stream)
+
+    if args.command == "bench-diff":
+        return _run_bench_diff(args, stream)
 
     if args.command == "trace":
         return tracecmd.run_trace_command(args, stream)

@@ -182,15 +182,15 @@ class FaultInjector:
         )
         self._blackouts = blackouts
         for _start, end in blackouts:
-            self.sim.at(end, self._blackout_resync, "fault-resync")
+            self.sim.post_at(end, self._blackout_resync, "fault-resync")
 
         for spec in plan.by_type(ServerCrash):
             at = clock.us_to_cycles(spec.at_us)
             recover = clock.us_to_cycles(spec.recover_at_us)
-            self.sim.at(
+            self.sim.post_at(
                 at, self._make_crash(spec, at, recover), "fault-crash"
             )
-            self.sim.at(
+            self.sim.post_at(
                 recover, self._make_recover(spec.server), "fault-recover"
             )
         self.balancer.injector = self

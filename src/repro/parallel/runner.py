@@ -80,6 +80,24 @@ def _run_timed(job):
     return value, seconds
 
 
+def _run_timed_batch(jobs):
+    """Execute a pre-chunked list of jobs in one pool task.
+
+    Shipping a list per task (instead of one job per task) amortizes the
+    pickle + IPC round-trip that made small sweeps slower than serial."""
+    return [_run_timed(job) for job in jobs]
+
+
+def _warm_worker():
+    """Pool initializer: pre-import the heavy simulation modules so the
+    first job a worker receives doesn't pay import cost.  A no-op under
+    the fork start method (the child inherits the parent's modules) but
+    decisive under spawn."""
+    import repro.cluster.rack  # noqa: F401
+    import repro.core.server  # noqa: F401
+    import repro.workloads.named  # noqa: F401
+
+
 def _pickle_culprit(batch):
     """Name the first unpicklable thing in ``batch``, as precisely as we
     can: for a dataclass job, probe each field individually so the warning
@@ -132,11 +150,21 @@ class ParallelRunner:
             "parallel_batches": 0,
             "serial_batches": 0,
             "fallbacks": 0,
+            "pool_starts": 0,
+            "pool_reuses": 0,
         }
         #: Per-job wall times and hit/miss counters land here; the sweep
         #: CLI prints :meth:`summary_line` from it.
         self.telemetry = TelemetryRegistry()
         self._warned_fallback = False
+        #: Persistent worker pool, started on the first parallel batch and
+        #: reused until :meth:`close` — forking per batch is what made the
+        #: original runner slower than serial on small sweeps.
+        self._pool = None
+        self._pool_workers = 0
+        #: Wall seconds spent inside parallel pool.map calls, versus the
+        #: in-worker compute seconds — the footer's speedup estimate.
+        self._parallel_wall = 0.0
 
     # -- the public API -----------------------------------------------------
 
@@ -219,24 +247,90 @@ class ParallelRunner:
                 stacklevel=4,
             )
 
-    def _execute_pool(self, batch, workers):
+    def _get_pool(self, workers):
+        """The persistent pool, started on first use and reused across
+        batches (warm imports, no per-batch fork cost)."""
+        if self._pool is not None and self._pool_workers >= workers:
+            self.stats["pool_reuses"] += 1
+            return self._pool
+        self.close()
         import multiprocessing
 
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
+        self._pool = context.Pool(
+            processes=workers, initializer=_warm_worker
+        )
+        self._pool_workers = workers
+        self.stats["pool_starts"] += 1
+        return self._pool
+
+    def _execute_pool(self, batch, workers):
         chunksize = self.chunksize or max(
             1, (len(batch) + 4 * workers - 1) // (4 * workers)
         )
-        with context.Pool(processes=workers) as pool:
-            outputs = pool.map(_run_timed, batch, chunksize=chunksize)
+        chunks = [
+            batch[i:i + chunksize] for i in range(0, len(batch), chunksize)
+        ]
+        pool = self._get_pool(workers)
+        started = time.perf_counter()  # repro-san: ignore[DET001] -- wall-clock batch timing for the runner footer only; never enters results
+        try:
+            nested = pool.map(_run_timed_batch, chunks, chunksize=1)
+        except Exception as exc:
+            # A dead or broken pool must not take the sweep down; discard
+            # it and let the caller fall back to in-process execution.
+            self.close()
+            raise OSError(
+                "worker pool failed mid-batch: {}".format(exc)
+            ) from exc
+        self._parallel_wall += time.perf_counter() - started  # repro-san: ignore[DET001] -- wall-clock batch timing for the runner footer only; never enters results
         self.stats["parallel_batches"] += 1
-        return outputs
+        return [timed for chunk in nested for timed in chunk]
+
+    def close(self):
+        """Terminate the persistent worker pool (if any).  The runner
+        stays usable — the next parallel batch starts a fresh pool."""
+        pool = self._pool
+        self._pool = None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def parallel_speedup(self):
+        """Measured speedup of parallel batches over their estimated
+        serial cost (in-worker compute seconds vs pool wall seconds), or
+        None when no parallel batch has run.  A value below 1.0 means the
+        pool made the sweep *slower* — the regression the footer exists
+        to surface."""
+        if not self._parallel_wall:
+            return None
+        series = self.telemetry.series.get("runner.job_seconds")
+        samples = series.samples if series is not None else []
+        compute = sum(v for _i, v in samples)
+        if compute <= 0.0:
+            return None
+        return compute / self._parallel_wall
 
     def summary_line(self):
         """One-line telemetry footer for sweep CLIs: jobs run, cache
-        hit/miss split, total and slowest per-job wall time."""
+        hit/miss split, total and slowest per-job wall time, and — when
+        a pool ran — parallel wall vs estimated serial cost, so a sweep
+        that parallelized into a *slowdown* can never report quietly."""
         series = self.telemetry.series.get("runner.job_seconds")
         samples = series.samples if series is not None else []
         total = sum(v for _i, v in samples)
@@ -246,11 +340,21 @@ class ParallelRunner:
             cache_part = "{} cache hits, {} misses".format(
                 self.stats["cache_hits"], self.stats["cache_misses"]
             )
+        speedup = self.parallel_speedup()
+        speedup_part = ""
+        if speedup is not None:
+            speedup_part = (
+                ", parallel {:.1f}s vs {:.1f}s serial-est "
+                "({:.2f}x{})".format(
+                    self._parallel_wall, total, speedup,
+                    "" if speedup >= 1.0 else " — SLOWER than serial",
+                )
+            )
         return (
             "[runner: {} jobs simulated in {:.1f}s wall "
-            "(slowest {:.1f}s), {}, jobs={}]".format(
+            "(slowest {:.1f}s), {}, jobs={}{}]".format(
                 self.stats["jobs_run"], total, slowest, cache_part,
-                self.jobs,
+                self.jobs, speedup_part,
             )
         )
 

@@ -3,28 +3,79 @@
 Time is an integer number of CPU cycles.  Events are callbacks scheduled at
 absolute timestamps; ties are broken by a monotonically increasing sequence
 number so execution order is deterministic and FIFO among same-time events.
+That ``(time, seq)`` tie-break rule is the contract shared by every queue
+backend: any two backends drain the same schedule in exactly the same
+order, so simulation results are bit-identical across backends.
 
-The heap stores ``(time, seq, event)`` tuples so ordering comparisons run as
-C-level tuple compares — this loop is the hottest code in the package.
+Two queue backends implement the contract:
 
-Cancellation is lazy (the heap entry stays put and is skipped when popped),
-but no longer unbounded: the simulator counts dead entries still in the heap
-and compacts in place once they exceed :data:`COMPACT_MIN_DEAD` *and* make
-up more than half the heap.  Preemption-heavy runs (every quantum re-arm
-cancels the previous timer) would otherwise carry thousands of dead tuples
-through every sift.
+``heap`` (default)
+    A binary heap of ``(time, seq, ...)`` tuples (C-level tuple compares)
+    with counted lazy cancellation and amortized in-place compaction.
+``wheel``
+    A hierarchical timing wheel (:mod:`repro.sim.wheel`) with O(1)
+    schedule/cancel, bitmap slot occupancy, and lazy cascading.
+
+Select with ``Simulator(queue="heap"|"wheel")`` or the ``REPRO_QUEUE``
+environment variable.
+
+Scheduling comes in two shapes:
+
+* ``schedule`` / ``at`` / ``after`` return an :class:`Event` handle that
+  may be cancelled.  Cancellation is lazy (the entry stays queued and is
+  skipped when reached), but not unbounded: dead entries are counted and
+  the queue compacts once they exceed :data:`COMPACT_MIN_DEAD` *and* make
+  up more than half the queue.
+* ``post`` / ``post_at`` are fire-and-forget: no handle is allocated, so
+  they cannot be cancelled — and they skip the :class:`Event` allocation
+  that dominates the scheduling cost.  The core runtime uses them for the
+  completion/arrival timers it never cancels.
+
+Queue entries are therefore either ``(time, seq, event)`` triples or
+``(time, seq, None, callback, name)`` fire-and-forget tuples; ``entry[2]
+is None`` distinguishes them and the unique ``seq`` guarantees ordering
+comparisons never reach the mismatched tails.
 """
 
 import heapq
+import os
 import warnings
 
-__all__ = ["Event", "Simulator", "SimulationError", "COMPACT_MIN_DEAD"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "COMPACT_MIN_DEAD",
+    "resolve_queue",
+]
 
-#: Compaction never triggers below this many dead heap entries; above it,
-#: the heap is rebuilt whenever dead entries outnumber live ones.  The scan
-#: is O(heap) and removes >= half the entries, so total compaction work is
+#: Compaction never triggers below this many dead queue entries; above it,
+#: the queue is swept whenever dead entries outnumber live ones.  The scan
+#: is O(queue) and removes >= half the entries, so total compaction work is
 #: amortized O(1) per cancellation.
 COMPACT_MIN_DEAD = 256
+
+_QUEUE_KINDS = ("heap", "wheel")
+
+
+def resolve_queue(queue=None):
+    """Normalize a queue-backend name: explicit argument, else
+    ``$REPRO_QUEUE``, else ``"heap"``.
+
+    Both backends drain any schedule in the same (time, seq) order, so the
+    choice never changes simulation results — only wall-clock speed.
+    """
+    if queue is None:
+        # Backend selection only: results are bit-identical across
+        # backends (enforced by tests/test_sim_wheel.py differentials).
+        queue = os.environ.get("REPRO_QUEUE", "").strip() or "heap"  # repro-san: ignore[DET005] -- queue backend selection; backends are proven bit-identical, so this ambient read cannot change results
+    if queue not in _QUEUE_KINDS:
+        raise ValueError(
+            "unknown queue backend {!r}; known: {}".format(
+                queue, ", ".join(_QUEUE_KINDS)
+            )
+        )
+    return queue
 
 
 class SimulationError(RuntimeError):
@@ -36,8 +87,8 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` (or the ``at`` /
     ``after`` convenience wrappers) and may be cancelled before firing.
-    Cancellation is lazy: the heap entry stays put and is discarded when
-    popped (or swept out by heap compaction).
+    Cancellation is lazy: the queue entry stays put and is discarded when
+    reached (or swept out by queue compaction).
     """
 
     __slots__ = ("time", "callback", "name", "cancelled", "_sim")
@@ -48,7 +99,7 @@ class Event:
         self.name = name
         self.cancelled = False
         # Back-reference for cancellation accounting; detached (set to
-        # None) once the event leaves the heap, so late cancels of already
+        # None) once the event leaves the queue, so late cancels of already
         # fired events stay cheap and don't skew the dead-entry count.
         self._sim = sim
 
@@ -67,8 +118,11 @@ class Event:
         return "Event(t={}, name={!r}{})".format(self.time, self.name, state)
 
 
+_new_event = Event.__new__
+
+
 class Simulator:
-    """Drains an event heap in timestamp order.
+    """Drains an event queue in ``(time, seq)`` order.
 
     Parameters
     ----------
@@ -78,9 +132,20 @@ class Simulator:
         (:meth:`attach_probes`, or a :func:`repro.obs.session.tracing`
         session with ``engine_events=True``); the callback still works
         through a compatibility shim.
+    queue:
+        Event-queue backend: ``"heap"`` (default) or ``"wheel"``.
+        ``None`` consults ``$REPRO_QUEUE``.  Backends are bit-identical;
+        see docs/performance.md for how to choose.
     """
 
-    def __init__(self, trace=None):
+    def __new__(cls, trace=None, queue=None):
+        if cls is Simulator and resolve_queue(queue) == "wheel":
+            from repro.sim.wheel import WheelSimulator
+
+            return object.__new__(WheelSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, trace=None, queue=None):
         if trace is not None:
             warnings.warn(
                 "Simulator(trace=...) is deprecated; attach a probe bus "
@@ -98,6 +163,11 @@ class Simulator:
         self._dead_in_heap = 0
         self._compactions = 0
         self._running = False
+
+    @property
+    def queue(self):
+        """Name of the active event-queue backend."""
+        return "heap"
 
     def attach_probes(self, bus):
         """Feed every fired event into ``bus.sim_event(time, name)``.
@@ -121,22 +191,34 @@ class Simulator:
         return self
 
     # -- scheduling ---------------------------------------------------------
+    #
+    # schedule/after/post are the hottest entry points in the package, so
+    # each inlines validation + Event construction + push rather than
+    # layering through a shared helper (a call frame per event is ~15% of
+    # the whole loop).  The wheel backend overrides all four with the same
+    # structure; keep them in sync.
 
     def schedule(self, time, callback, name=""):
         """Schedule ``callback`` at absolute cycle ``time``.
 
         Returns the :class:`Event`, which may be cancelled.
         """
-        time = int(time)
+        if time.__class__ is not int:
+            time = int(time)
         if time < self.now:
             raise SimulationError(
                 "cannot schedule event {!r} at t={} before now={}".format(
                     name, time, self.now
                 )
             )
-        event = Event(time, callback, name, self)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, event))
+        event = _new_event(Event)
+        event.time = time
+        event.callback = callback
+        event.name = name
+        event.cancelled = False
+        event._sim = self
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def at(self, time, callback, name=""):
@@ -149,12 +231,51 @@ class Simulator:
             raise SimulationError(
                 "negative delay {} for event {!r}".format(delay, name)
             )
-        return self.schedule(self.now + int(delay), callback, name)
+        if delay.__class__ is not int:
+            delay = int(delay)
+        time = self.now + delay
+        event = _new_event(Event)
+        event.time = time
+        event.callback = callback
+        event.name = name
+        event.cancelled = False
+        event._sim = self
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
+
+    def post(self, delay, callback, name=""):
+        """Fire-and-forget :meth:`after`: no :class:`Event` handle is
+        allocated, so the timer cannot be cancelled — and scheduling is
+        roughly 2x cheaper.  Use for timers that always fire."""
+        if delay < 0:
+            raise SimulationError(
+                "negative delay {} for event {!r}".format(delay, name)
+            )
+        if delay.__class__ is not int:
+            delay = int(delay)
+        seq = self._seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (self.now + delay, seq, None, callback, name)
+        )
+
+    def post_at(self, time, callback, name=""):
+        """Fire-and-forget :meth:`schedule` (absolute time, no handle)."""
+        if time.__class__ is not int:
+            time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule event {!r} at t={} before now={}".format(
+                    name, time, self.now
+                )
+            )
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._heap, (time, seq, None, callback, name))
 
     # -- cancellation accounting -------------------------------------------
 
     def _note_cancel(self):
-        """A live heap entry was just cancelled; compact if dead entries
+        """A live queue entry was just cancelled; compact if dead entries
         dominate."""
         self._events_cancelled += 1
         dead = self._dead_in_heap + 1
@@ -170,7 +291,7 @@ class Simulator:
         is untouched: entries keep their ``(time, seq)`` keys.
         """
         heap = self._heap
-        live = [entry for entry in heap if not entry[2].cancelled]
+        live = [e for e in heap if e[2] is None or not e[2].cancelled]
         if len(live) != len(heap):
             heap[:] = live
             heapq.heapify(heap)
@@ -180,26 +301,35 @@ class Simulator:
     # -- execution ------------------------------------------------------------
 
     def step(self):
-        """Run the next pending event.  Returns False when the heap is empty."""
+        """Run the next pending event.  Returns False when the queue is
+        empty."""
         heap = self._heap
         pop = heapq.heappop
         while heap:
-            time, _seq, event = pop(heap)
+            entry = pop(heap)
+            event = entry[2]
+            if event is None:
+                self.now = entry[0]
+                if self._trace is not None:
+                    self._trace(entry[0], entry[4])
+                self._events_run += 1
+                entry[3]()
+                return True
             if event.cancelled:
                 self._dead_in_heap -= 1
                 continue
             event._sim = None
-            self.now = time
+            self.now = entry[0]
             if self._trace is not None:
-                self._trace(time, event.name)
+                self._trace(entry[0], event.name)
             self._events_run += 1
             event.callback()
             return True
         return False
 
     def run(self, until=None, max_events=None):
-        """Run until the heap drains, ``until`` cycles pass, or ``max_events``
-        events have executed — whichever comes first.
+        """Run until the queue drains, ``until`` cycles pass, or
+        ``max_events`` events have executed — whichever comes first.
 
         Returns the number of events executed during this call.
         """
@@ -216,23 +346,36 @@ class Simulator:
                 # bound checks; the trace branch is hoisted out of the loop).
                 if trace is None:
                     while heap:
-                        time, _seq, event = pop(heap)
+                        entry = pop(heap)
+                        event = entry[2]
+                        if event is None:
+                            self.now = entry[0]
+                            entry[3]()
+                            executed += 1
+                            continue
                         if event.cancelled:
                             self._dead_in_heap -= 1
                             continue
                         event._sim = None
-                        self.now = time
+                        self.now = entry[0]
                         event.callback()
                         executed += 1
                 else:
                     while heap:
-                        time, _seq, event = pop(heap)
+                        entry = pop(heap)
+                        event = entry[2]
+                        if event is None:
+                            self.now = entry[0]
+                            trace(entry[0], entry[4])
+                            entry[3]()
+                            executed += 1
+                            continue
                         if event.cancelled:
                             self._dead_in_heap -= 1
                             continue
                         event._sim = None
-                        self.now = time
-                        trace(time, event.name)
+                        self.now = entry[0]
+                        trace(entry[0], event.name)
                         event.callback()
                         executed += 1
                 self._events_run += executed
@@ -241,19 +384,25 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 head = heap[0]
-                if head[2].cancelled:
+                event = head[2]
+                if event is not None and event.cancelled:
                     pop(heap)
                     self._dead_in_heap -= 1
                     continue
                 if until is not None and head[0] > until:
                     self.now = int(until)
                     break
-                time, _seq, event = pop(heap)
-                event._sim = None
-                self.now = time
-                if trace is not None:
-                    trace(time, event.name)
-                event.callback()
+                pop(heap)
+                self.now = head[0]
+                if event is None:
+                    if trace is not None:
+                        trace(head[0], head[4])
+                    head[3]()
+                else:
+                    event._sim = None
+                    if trace is not None:
+                        trace(head[0], event.name)
+                    event.callback()
                 executed += 1
             else:
                 if until is not None and until > self.now:
@@ -282,23 +431,31 @@ class Simulator:
 
     @property
     def heap_size(self):
-        """Raw heap entries, live plus not-yet-swept cancelled ones."""
+        """Raw queue entries, live plus not-yet-swept cancelled ones.
+
+        Named for the default backend; the wheel backend reports its own
+        raw entry count here (never a stale heap number).
+        """
         return len(self._heap)
 
     @property
     def dead_in_heap(self):
-        """Cancelled entries still occupying heap slots."""
+        """Cancelled entries still occupying queue slots."""
         return self._dead_in_heap
 
     @property
     def compactions(self):
-        """Times the heap was rebuilt to shed cancelled entries."""
+        """Times the queue was swept to shed cancelled entries."""
         return self._compactions
 
     def peek_time(self):
-        """Timestamp of the next live event, or None if the heap is empty."""
+        """Timestamp of the next live event, or None if the queue is
+        empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap:
+            event = heap[0][2]
+            if event is None or not event.cancelled:
+                return heap[0][0]
             heapq.heappop(heap)
             self._dead_in_heap -= 1
-        return heap[0][0] if heap else None
+        return None

@@ -1,0 +1,600 @@
+"""Hierarchical timing-wheel event queue for the simulator.
+
+Drop-in backend for :class:`repro.sim.engine.Simulator` (select with
+``Simulator(queue="wheel")`` or ``REPRO_QUEUE=wheel``).  Same contract as
+the heap backend — events drain in ``(time, seq)`` order — so results are
+bit-identical; only the queue data structure changes.
+
+Layout (Linux-timer style, aligned pages rather than a rotating ring):
+
+* Four levels of 256 slots.  Level 0 has 1-cycle granularity and covers
+  the 256-cycle page around the cursor; each higher level is 256x coarser
+  (levels 0-3 together span 2^32 cycles).  Timers beyond 2^32 cycles out
+  sit in an overflow heap until the cursor reaches their 2^32 page.
+* An entry for time ``t`` lands in the level that matches the highest
+  differing bit between ``t`` and the cursor (``d = t ^ cursor``), i.e.
+  the coarsest level where the slot index still distinguishes it from
+  "now".  Schedule and cancel are O(1); there is no per-event heap
+  reshuffle.
+* Per-level occupancy bitmaps (one Python int each) find the next
+  non-empty slot with two arithmetic ops (``rem & -rem`` isolates the
+  lowest set bit), so draining skips empty slots in O(1) instead of
+  scanning 256 of them.
+* Cascading is lazy: when a page drains, the next occupied higher-level
+  bucket is split down into finer slots.  Each entry cascades at most
+  three times over its lifetime.
+
+Ordering guarantees, and why they hold:
+
+* The cursor never sits above a queued wheel entry's time: inserts below
+  the cursor (possible only after the cursor overshot ``now`` past an
+  all-cancelled bucket or an ``until``-bounded run) go to a small
+  "overdue" heap that strictly precedes every wheel entry.
+* A level-0 bucket holds exactly one timestamp (within a 256-cycle page
+  the low byte pins ``t``), so FIFO among same-time events only needs
+  the bucket sorted by ``(time, seq)`` — entries cascade in arbitrary
+  order but are sorted once when their bucket is drained.
+
+Counter semantics match the heap backend: ``heap_size`` reports raw
+queued entries (live + not-yet-swept cancelled), ``dead_in_heap`` counts
+cancelled entries still occupying slots, and ``compact()`` sweeps them —
+the numbers are wheel-native, never stale heap figures.
+"""
+
+import heapq
+
+from repro.sim.engine import (
+    COMPACT_MIN_DEAD,
+    Event,
+    SimulationError,
+    Simulator,
+)
+
+__all__ = ["WheelSimulator"]
+
+_new_event = Event.__new__
+
+#: Slots per wheel level; one level spans 256x the granularity below it.
+SLOTS_PER_LEVEL = 256
+#: Wheel levels; beyond ``2 ** (8 * (LEVELS))`` cycles timers overflow to a heap.
+LEVELS = 4
+_SLOT_MASK = SLOTS_PER_LEVEL - 1
+#: Cursor page width covered by the whole wheel (beyond it: overflow heap).
+_WHEEL_SPAN_BITS = 32
+
+
+class WheelSimulator(Simulator):
+    """:class:`Simulator` with a hierarchical timing-wheel event queue.
+
+    Constructed via ``Simulator(queue="wheel")`` (preferred) or directly.
+    Public behavior is identical to the heap backend, bit for bit; see
+    the module docstring for the data-structure details.
+    """
+
+    def __init__(self, trace=None, queue=None):
+        Simulator.__init__(self, trace)
+        self._slots0 = [[] for _ in range(SLOTS_PER_LEVEL)]
+        self._slots1 = [[] for _ in range(SLOTS_PER_LEVEL)]
+        self._slots2 = [[] for _ in range(SLOTS_PER_LEVEL)]
+        self._slots3 = [[] for _ in range(SLOTS_PER_LEVEL)]
+        self._occ0 = 0
+        self._occ1 = 0
+        self._occ2 = 0
+        self._occ3 = 0
+        #: Timers more than 2^32 cycles out, as a (time, seq, ...) heap.
+        self._far = []
+        #: Entries scheduled below the cursor after it overshot ``now``
+        #: (all-cancelled bucket / bounded run).  Strictly precede every
+        #: wheel entry, so they drain first.
+        self._overdue = []
+        #: Absolute time of the slot the drain scan is at.  Invariant:
+        #: no wheel entry is earlier (earlier inserts go to _overdue).
+        self._cursor = 0
+        #: Raw queued entries, live + cancelled (the wheel's heap_size).
+        self._entries = 0
+        #: Bucket currently being drained — detached from its slot so
+        #: same-slot inserts and cascades never interleave with it.
+        self._active_bucket = None
+        self._active_idx = 0
+
+    @property
+    def queue(self):
+        return "wheel"
+
+    # -- scheduling ---------------------------------------------------------
+    #
+    # Same inlined structure as the heap backend (validation + Event
+    # construction + placement, no helper frames); the level-0 insert is
+    # inlined too since in steady state almost every timer is near-term.
+
+    def schedule(self, time, callback, name=""):
+        if time.__class__ is not int:
+            time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule event {!r} at t={} before now={}".format(
+                    name, time, self.now
+                )
+            )
+        event = _new_event(Event)
+        event.time = time
+        event.callback = callback
+        event.name = name
+        event.cancelled = False
+        event._sim = self
+        seq = self._seq = self._seq + 1
+        self._entries += 1
+        cursor = self._cursor
+        if time >= cursor and (time ^ cursor) >> 8 == 0:
+            i = time & _SLOT_MASK
+            self._slots0[i].append((time, seq, event))
+            self._occ0 |= 1 << i
+        else:
+            self._insert(time, (time, seq, event))
+        return event
+
+    def after(self, delay, callback, name=""):
+        if delay < 0:
+            raise SimulationError(
+                "negative delay {} for event {!r}".format(delay, name)
+            )
+        if delay.__class__ is not int:
+            delay = int(delay)
+        time = self.now + delay
+        event = _new_event(Event)
+        event.time = time
+        event.callback = callback
+        event.name = name
+        event.cancelled = False
+        event._sim = self
+        seq = self._seq = self._seq + 1
+        self._entries += 1
+        cursor = self._cursor
+        if time >= cursor and (time ^ cursor) >> 8 == 0:
+            i = time & _SLOT_MASK
+            self._slots0[i].append((time, seq, event))
+            self._occ0 |= 1 << i
+        else:
+            self._insert(time, (time, seq, event))
+        return event
+
+    def post(self, delay, callback, name=""):
+        if delay < 0:
+            raise SimulationError(
+                "negative delay {} for event {!r}".format(delay, name)
+            )
+        if delay.__class__ is not int:
+            delay = int(delay)
+        time = self.now + delay
+        seq = self._seq = self._seq + 1
+        self._entries += 1
+        cursor = self._cursor
+        if time >= cursor and (time ^ cursor) >> 8 == 0:
+            i = time & _SLOT_MASK
+            self._slots0[i].append((time, seq, None, callback, name))
+            self._occ0 |= 1 << i
+        else:
+            self._insert(time, (time, seq, None, callback, name))
+
+    def post_at(self, time, callback, name=""):
+        if time.__class__ is not int:
+            time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule event {!r} at t={} before now={}".format(
+                    name, time, self.now
+                )
+            )
+        seq = self._seq = self._seq + 1
+        self._entries += 1
+        cursor = self._cursor
+        if time >= cursor and (time ^ cursor) >> 8 == 0:
+            i = time & _SLOT_MASK
+            self._slots0[i].append((time, seq, None, callback, name))
+            self._occ0 |= 1 << i
+        else:
+            self._insert(time, (time, seq, None, callback, name))
+
+    def _insert(self, time, entry):
+        """Place ``entry`` in the level matching its distance from the
+        cursor.  Placement only — the caller accounts for ``_entries``."""
+        cursor = self._cursor
+        if time < cursor:
+            heapq.heappush(self._overdue, entry)
+            return
+        d = time ^ cursor
+        if d >> 8 == 0:
+            i = time & _SLOT_MASK
+            self._slots0[i].append(entry)
+            self._occ0 |= 1 << i
+        elif d >> 16 == 0:
+            i = (time >> 8) & _SLOT_MASK
+            self._slots1[i].append(entry)
+            self._occ1 |= 1 << i
+        elif d >> 24 == 0:
+            i = (time >> 16) & _SLOT_MASK
+            self._slots2[i].append(entry)
+            self._occ2 |= 1 << i
+        elif d >> _WHEEL_SPAN_BITS == 0:
+            i = (time >> 24) & _SLOT_MASK
+            self._slots3[i].append(entry)
+            self._occ3 |= 1 << i
+        else:
+            heapq.heappush(self._far, entry)
+
+    # -- cancellation accounting -------------------------------------------
+
+    def _note_cancel(self):
+        self._events_cancelled += 1
+        dead = self._dead_in_heap + 1
+        self._dead_in_heap = dead
+        if dead >= COMPACT_MIN_DEAD and dead * 2 >= self._entries:
+            self.compact()
+
+    def compact(self):
+        """Sweep cancelled entries out of every bucket, in place.
+
+        Buckets are filtered by slice assignment so list aliases held by
+        a running drain stay valid; the bucket currently being drained is
+        detached from the wheel and left alone (its remaining dead
+        entries are what ``dead_in_heap`` still reports afterwards).
+        """
+        removed = 0
+        for slots_name, occ_name in (
+            ("_slots0", "_occ0"),
+            ("_slots1", "_occ1"),
+            ("_slots2", "_occ2"),
+            ("_slots3", "_occ3"),
+        ):
+            occ = getattr(self, occ_name)
+            if not occ:
+                continue
+            slots = getattr(self, slots_name)
+            rem = occ
+            while rem:
+                i = (rem & -rem).bit_length() - 1
+                rem &= rem - 1
+                bucket = slots[i]
+                live = [
+                    e for e in bucket if e[2] is None or not e[2].cancelled
+                ]
+                if len(live) != len(bucket):
+                    removed += len(bucket) - len(live)
+                    bucket[:] = live
+                    if not bucket:
+                        occ &= ~(1 << i)
+            setattr(self, occ_name, occ)
+        for overflow in (self._far, self._overdue):
+            live = [
+                e for e in overflow if e[2] is None or not e[2].cancelled
+            ]
+            if len(live) != len(overflow):
+                removed += len(overflow) - len(live)
+                overflow[:] = live
+                heapq.heapify(overflow)
+        self._entries -= removed
+        dead_active = 0
+        bucket = self._active_bucket
+        if bucket is not None:
+            for e in bucket[self._active_idx:]:
+                if e[2] is not None and e[2].cancelled:
+                    dead_active += 1
+        self._dead_in_heap = dead_active
+        self._compactions += 1
+
+    # -- the drain scan ----------------------------------------------------
+
+    def _next_bucket(self):
+        """Advance the cursor to the next occupied level-0 slot, cascading
+        coarser buckets down as pages open up.  Returns ``(slot_time,
+        index)`` or None when the whole wheel (and overflow) is empty."""
+        while True:
+            cursor = self._cursor
+            c0 = cursor & _SLOT_MASK
+            rem = self._occ0 >> c0
+            if rem:
+                i = c0 + ((rem & -rem).bit_length() - 1)
+                slot_time = (cursor & ~_SLOT_MASK) | i
+                self._cursor = slot_time
+                return slot_time, i
+            base1 = cursor >> 8
+            c1 = base1 & _SLOT_MASK
+            rem = self._occ1 >> c1
+            if rem:
+                j = c1 + ((rem & -rem).bit_length() - 1)
+                self._occ1 &= ~(1 << j)
+                bucket = self._slots1[j]
+                self._slots1[j] = []
+                self._cursor = ((base1 - c1) + j) << 8
+                self._cascade(bucket)
+                continue
+            base2 = cursor >> 16
+            c2 = base2 & _SLOT_MASK
+            rem = self._occ2 >> c2
+            if rem:
+                j = c2 + ((rem & -rem).bit_length() - 1)
+                self._occ2 &= ~(1 << j)
+                bucket = self._slots2[j]
+                self._slots2[j] = []
+                self._cursor = ((base2 - c2) + j) << 16
+                self._cascade(bucket)
+                continue
+            base3 = cursor >> 24
+            c3 = base3 & _SLOT_MASK
+            rem = self._occ3 >> c3
+            if rem:
+                j = c3 + ((rem & -rem).bit_length() - 1)
+                self._occ3 &= ~(1 << j)
+                bucket = self._slots3[j]
+                self._slots3[j] = []
+                self._cursor = ((base3 - c3) + j) << 24
+                self._cascade(bucket)
+                continue
+            far = self._far
+            if far:
+                page = far[0][0] >> _WHEEL_SPAN_BITS
+                self._cursor = page << _WHEEL_SPAN_BITS
+                batch = []
+                pop = heapq.heappop
+                while far and far[0][0] >> _WHEEL_SPAN_BITS == page:
+                    batch.append(pop(far))
+                self._cascade(batch)
+                continue
+            return None
+
+    def _cascade(self, entries):
+        """Re-insert a coarser bucket's entries at finer granularity,
+        shedding cancelled ones on the way down."""
+        insert = self._insert
+        for entry in entries:
+            ev = entry[2]
+            if ev is not None and ev.cancelled:
+                self._dead_in_heap -= 1
+                self._entries -= 1
+                continue
+            insert(entry[0], entry)
+
+    def _drain_all(self):
+        """Unbounded drain (the hot path): run buckets to exhaustion."""
+        executed = 0
+        trace = self._trace
+        overdue = self._overdue
+        slots0 = self._slots0
+        pop = heapq.heappop
+        next_bucket = self._next_bucket
+        while True:
+            while overdue:
+                entry = pop(overdue)
+                ev = entry[2]
+                if ev is None:
+                    self._entries -= 1
+                    self.now = entry[0]
+                    if trace is not None:
+                        trace(entry[0], entry[4])
+                    entry[3]()
+                    executed += 1
+                elif ev.cancelled:
+                    self._dead_in_heap -= 1
+                    self._entries -= 1
+                else:
+                    ev._sim = None
+                    self._entries -= 1
+                    self.now = entry[0]
+                    if trace is not None:
+                        trace(entry[0], ev.name)
+                    ev.callback()
+                    executed += 1
+            cursor = self._cursor
+            c0 = cursor & _SLOT_MASK
+            rem = self._occ0 >> c0
+            if rem:
+                idx = c0 + ((rem & -rem).bit_length() - 1)
+                self._cursor = (cursor & ~_SLOT_MASK) | idx
+            else:
+                nxt = next_bucket()
+                if nxt is None:
+                    return executed
+                idx = nxt[1]
+            bucket = slots0[idx]
+            if len(bucket) == 1:
+                # Single-entry bucket (the steady state): pop in place, no
+                # detach/sort bookkeeping.  Same-slot inserts from the
+                # callback append to the emptied bucket and re-set the
+                # bit, so the scan re-finds them with their higher seq.
+                entry = bucket[0]
+                del bucket[0]
+                self._occ0 &= ~(1 << idx)
+                ev = entry[2]
+                if ev is None:
+                    self._entries -= 1
+                    self.now = entry[0]
+                    if trace is not None:
+                        trace(entry[0], entry[4])
+                    entry[3]()
+                    executed += 1
+                elif ev.cancelled:
+                    self._dead_in_heap -= 1
+                    self._entries -= 1
+                else:
+                    ev._sim = None
+                    self._entries -= 1
+                    self.now = entry[0]
+                    if trace is not None:
+                        trace(entry[0], ev.name)
+                    ev.callback()
+                    executed += 1
+                continue
+            # Detach the bucket: same-slot inserts from callbacks start a
+            # fresh list (drained on the next pass, correctly after these
+            # lower-seq entries), and a cascade triggered by a peeking
+            # callback can never splice future-page timers into it.
+            slots0[idx] = []
+            self._occ0 &= ~(1 << idx)
+            bucket.sort()
+            self._active_bucket = bucket
+            i = 0
+            n = len(bucket)
+            while i < n:
+                entry = bucket[i]
+                i += 1
+                self._active_idx = i
+                ev = entry[2]
+                if ev is None:
+                    self._entries -= 1
+                    self.now = entry[0]
+                    if trace is not None:
+                        trace(entry[0], entry[4])
+                    entry[3]()
+                    executed += 1
+                elif ev.cancelled:
+                    self._dead_in_heap -= 1
+                    self._entries -= 1
+                else:
+                    ev._sim = None
+                    self._entries -= 1
+                    self.now = entry[0]
+                    if trace is not None:
+                        trace(entry[0], ev.name)
+                    ev.callback()
+                    executed += 1
+            self._active_bucket = None
+
+    def _run_bounded(self, until, max_events):
+        """Bounded drain mirroring the heap backend's semantics exactly:
+        dead entries at the front are consumed regardless of bounds, a
+        live head past ``until`` stays queued, and ``now`` lands on
+        ``until`` when the bound (or exhaustion) stops the run."""
+        executed = 0
+        trace = self._trace
+        overdue = self._overdue
+        slots0 = self._slots0
+        pop = heapq.heappop
+        while True:
+            if max_events is not None and executed >= max_events:
+                return executed
+            while overdue:
+                head = overdue[0]
+                ev = head[2]
+                if ev is not None and ev.cancelled:
+                    pop(overdue)
+                    self._dead_in_heap -= 1
+                    self._entries -= 1
+                    continue
+                break
+            if overdue:
+                entry = overdue[0]
+                if until is not None and entry[0] > until:
+                    self.now = int(until)
+                    return executed
+                pop(overdue)
+            else:
+                nxt = self._next_bucket()
+                if nxt is None:
+                    if until is not None and until > self.now:
+                        self.now = int(until)
+                    return executed
+                idx = nxt[1]
+                bucket = slots0[idx]
+                if len(bucket) > 1:
+                    bucket.sort()
+                i = 0
+                n = len(bucket)
+                while i < n:
+                    ev = bucket[i][2]
+                    if ev is not None and ev.cancelled:
+                        self._dead_in_heap -= 1
+                        self._entries -= 1
+                        i += 1
+                        continue
+                    break
+                if i == n:
+                    # All cancelled: consume the bucket even past `until`,
+                    # as the heap pops dead heads regardless of bounds.
+                    del bucket[:]
+                    self._occ0 &= ~(1 << idx)
+                    continue
+                entry = bucket[i]
+                if until is not None and entry[0] > until:
+                    del bucket[:i]
+                    self.now = int(until)
+                    return executed
+                del bucket[: i + 1]
+                if not bucket:
+                    self._occ0 &= ~(1 << idx)
+            ev = entry[2]
+            self._entries -= 1
+            self.now = entry[0]
+            if ev is None:
+                if trace is not None:
+                    trace(entry[0], entry[4])
+                entry[3]()
+            else:
+                ev._sim = None
+                if trace is not None:
+                    trace(entry[0], ev.name)
+                ev.callback()
+            executed += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self):
+        executed = self._run_bounded(None, 1)
+        self._events_run += executed
+        return executed > 0
+
+    def run(self, until=None, max_events=None):
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            if until is None and max_events is None:
+                executed = self._drain_all()
+            else:
+                executed = self._run_bounded(until, max_events)
+            self._events_run += executed
+        finally:
+            self._running = False
+        return executed
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending(self):
+        return self._entries - self._dead_in_heap
+
+    @property
+    def heap_size(self):
+        return self._entries
+
+    def peek_time(self):
+        overdue = self._overdue
+        while overdue:
+            head = overdue[0]
+            ev = head[2]
+            if ev is None or not ev.cancelled:
+                return head[0]
+            heapq.heappop(overdue)
+            self._dead_in_heap -= 1
+            self._entries -= 1
+        bucket = self._active_bucket
+        if bucket is not None:
+            for e in bucket[self._active_idx:]:
+                ev = e[2]
+                if ev is None or not ev.cancelled:
+                    return e[0]
+        while True:
+            nxt = self._next_bucket()
+            if nxt is None:
+                return None
+            slot_time, idx = nxt
+            b = self._slots0[idx]
+            for e in b:
+                ev = e[2]
+                if ev is None or not ev.cancelled:
+                    return slot_time
+            # Every entry cancelled: consume the bucket so the scan can
+            # move past it (mirrors the heap popping dead heads on peek).
+            self._dead_in_heap -= len(b)
+            self._entries -= len(b)
+            del b[:]
+            self._occ0 &= ~(1 << idx)

@@ -1,0 +1,179 @@
+"""Differential tests for the compiled IR fast-path.
+
+The compiled backend must be bit-identical to the interpreter — same
+return value, cycle count, instruction count, probe firings, probe
+timeline, and preempt-check observations — across **all 24 kernels and
+both probe styles**, with the full instrumentation pipeline applied.
+Fractional cycle charges (unroll discounts) make float addition
+non-associative, so these tests are what licenses the code generator's
+constant-folding rules.
+"""
+
+import struct
+
+import pytest
+
+from repro.instrument.compile import (
+    CompiledModule,
+    CompileUnsupported,
+    executor_for,
+    resolve_ir_backend,
+)
+from repro.instrument.interp import Interpreter, InterpreterError
+from repro.instrument.ir import Function, Instr, Module, Terminator
+from repro.instrument.kernels import KERNELS
+from repro.instrument.optim import optimize_function
+from repro.instrument.passes import (
+    BaselineOptimizePass,
+    CACHELINE_STYLE,
+    LoopUnrollPass,
+    ProbeInsertionPass,
+    RDTSC_STYLE,
+)
+from repro.instrument.profile import profile_kernel
+
+
+def build_instrumented(factory, style):
+    """The full pipeline profile_kernel applies to the instrumented build."""
+    module = factory()
+    for function in module.functions.values():
+        optimize_function(function)
+    probe_pass = ProbeInsertionPass(style)
+    for function in module.functions.values():
+        probe_pass.run(function)
+    if style == CACHELINE_STYLE:
+        unroll = LoopUnrollPass(discount=True)
+        for function in module.functions.values():
+            unroll.run(function)
+    else:
+        baseline = BaselineOptimizePass()
+        for function in module.functions.values():
+            baseline.run(function)
+    return module
+
+
+def bits(value):
+    """Bit-pattern identity: distinguishes NaN payloads and -0.0, which
+    ``==`` would blur."""
+    if isinstance(value, float):
+        return struct.pack("<d", value)
+    return value
+
+
+@pytest.mark.parametrize("style", [CACHELINE_STYLE, RDTSC_STYLE])
+@pytest.mark.parametrize("spec", KERNELS, ids=lambda s: s.name)
+def test_compiled_matches_interpreter(spec, style):
+    pokes_interp, pokes_compiled = [], []
+    interp = Interpreter(build_instrumented(spec.factory, style))
+    compiled = CompiledModule(build_instrumented(spec.factory, style))
+    a = interp.run(preempt_check=pokes_interp.append)
+    b = compiled.run(preempt_check=pokes_compiled.append)
+    assert bits(a.value) == bits(b.value)
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.probes_fired == b.probes_fired
+    assert a.probe_times == b.probe_times
+    assert pokes_interp == pokes_compiled
+
+
+@pytest.mark.parametrize("style", [CACHELINE_STYLE, RDTSC_STYLE])
+def test_profile_kernel_identical_across_backends(monkeypatch, style):
+    spec = KERNELS[0]
+    monkeypatch.setenv("REPRO_IR_BACKEND", "interp")
+    p_interp = profile_kernel(spec.factory, style=style)
+    monkeypatch.setenv("REPRO_IR_BACKEND", "compiled")
+    p_compiled = profile_kernel(spec.factory, style=style)
+    assert p_interp.base_cycles == p_compiled.base_cycles
+    assert p_interp.instrumented_cycles == p_compiled.instrumented_cycles
+    assert p_interp.probes_fired == p_compiled.probes_fired
+    assert p_interp.probe_times == p_compiled.probe_times
+    assert p_interp.max_gap_cycles == p_compiled.max_gap_cycles
+
+
+def test_periodic_probe_state_shared_with_interpreter():
+    """Interleaved interpreted/compiled runs of one module stay in phase:
+    the compiled code mutates the same attrs["_count"] slot."""
+    module = build_instrumented(KERNELS[0].factory, CACHELINE_STYLE)
+    interp = Interpreter(module)
+    compiled = CompiledModule(module)
+    a = interp.run()
+    b = compiled.run()
+    c = interp.run()
+    # The second and third runs continue the same periodic phase the
+    # first run left behind, whichever engine executes them.
+    assert b.probes_fired == c.probes_fired
+    assert a.instructions == b.instructions == c.instructions
+
+
+def _tiny_module(ret=("x",)):
+    module = Module("tiny")
+    fn = Function("main", params=("x",))
+    module.add(fn)
+    block = fn.add_block("entry")
+    block.append(Instr("add", "x", ("x", 1)))
+    block.terminate(Terminator("ret", ret))
+    return module
+
+
+def test_executor_for_backends():
+    assert isinstance(executor_for(_tiny_module(), backend="interp"),
+                      Interpreter)
+    assert isinstance(executor_for(_tiny_module(), backend="compiled"),
+                      CompiledModule)
+    assert isinstance(executor_for(_tiny_module(), backend="auto"),
+                      CompiledModule)
+    with pytest.raises(ValueError):
+        executor_for(_tiny_module(), backend="jit")
+    with pytest.raises(ValueError):
+        resolve_ir_backend("llvm")
+
+
+def test_unsupported_module_falls_back():
+    # A tuple immediate has no exact source form, so the generator must
+    # refuse it and executor_for must fall back to the interpreter.
+    module = Module("odd")
+    fn = Function("main", params=())
+    module.add(fn)
+    block = fn.add_block("entry")
+    block.append(Instr("li", "x", ((1, 2),)))
+    block.terminate(Terminator("ret", ("x",)))
+    with pytest.raises(CompileUnsupported):
+        CompiledModule(module)
+    assert isinstance(executor_for(module, backend="auto"), Interpreter)
+    with pytest.raises(CompileUnsupported):
+        executor_for(module, backend="compiled")
+
+
+def test_entry_arg_mismatch_raises_like_interpreter():
+    module = _tiny_module()
+    with pytest.raises(InterpreterError):
+        CompiledModule(module).run(args=(1, 2))
+    with pytest.raises(InterpreterError):
+        Interpreter(module).run(args=(1, 2))
+
+
+def test_instruction_budget_raises_same_error():
+    module = Module("loop")
+    fn = Function("main", params=())
+    module.add(fn)
+    block = fn.add_block("entry")
+    block.append(Instr("li", "x", (0,)))
+    block.terminate(Terminator("jump", ("spin",)))
+    spin = fn.add_block("spin")
+    spin.append(Instr("add", "x", ("x", 1)))
+    spin.terminate(Terminator("jump", ("spin",)))
+    for engine in (Interpreter(module), CompiledModule(module)):
+        with pytest.raises(InterpreterError, match="instruction budget"):
+            engine.run(max_instructions=1000)
+
+
+def test_call_depth_raises_same_error():
+    module = Module("deep")
+    fn = Function("main", params=())
+    module.add(fn)
+    block = fn.add_block("entry")
+    block.append(Instr("call", "x", ("main",)))
+    block.terminate(Terminator("ret", ("x",)))
+    for engine in (Interpreter(module), CompiledModule(module)):
+        with pytest.raises(InterpreterError, match="call depth exceeded"):
+            engine.run()

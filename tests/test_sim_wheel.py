@@ -1,0 +1,318 @@
+"""Event-queue backend tests: the timing wheel against the heap.
+
+Every test here runs against both backends (the shared contract), plus
+differential tests asserting the two produce bit-identical traces on
+schedules that exercise the wheel's hard cases: zero-delay
+self-reschedules, cancel storms, far-future timers crossing cascade
+boundaries, and bounded runs that leave the cursor past ``now``.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator, resolve_queue
+from repro.sim.wheel import WheelSimulator
+
+BACKENDS = ("heap", "wheel")
+
+pytestmark = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def make_sim(backend, **kwargs):
+    return Simulator(queue=backend, **kwargs)
+
+
+def test_backend_selection(backend):
+    sim = make_sim(backend)
+    assert sim.queue == backend
+    if backend == "wheel":
+        assert isinstance(sim, WheelSimulator)
+    else:
+        assert not isinstance(sim, WheelSimulator)
+
+
+def test_resolve_queue_rejects_unknown(backend):
+    with pytest.raises(ValueError):
+        resolve_queue("fibheap")
+    assert resolve_queue(backend) == backend
+
+
+def test_zero_delay_self_reschedule(backend):
+    """An event rescheduling itself at delay 0 runs FIFO after any other
+    same-time events, and the run terminates when it stops rechaining."""
+    sim = make_sim(backend)
+    order = []
+
+    def chain(n):
+        order.append((sim.now, n))
+        if n < 5:
+            sim.after(0, lambda: chain(n + 1))
+
+    sim.at(10, lambda: chain(0))
+    sim.at(10, lambda: order.append((sim.now, "peer")))
+    sim.run()
+    assert order == [(10, 0), (10, "peer")] + [(10, k) for k in range(1, 6)]
+    assert sim.now == 10
+    assert sim.pending == 0
+
+
+def test_cancel_then_reschedule_same_slot(backend):
+    """Cancelling a handle and rescheduling its callback at the same time
+    fires exactly once, and the counters account for the dead entry."""
+    sim = make_sim(backend)
+    fired = []
+    first = sim.at(50, lambda: fired.append("first"))
+    first.cancel()
+    first.cancel()  # idempotent; counted once
+    again = sim.at(50, lambda: fired.append("again"))
+    sim.run()
+    assert fired == ["again"]
+    assert not again.cancelled
+    assert sim.events_cancelled == 1
+    assert sim.events_run == 1
+
+
+def test_far_future_timers_cross_cascade_boundaries(backend):
+    """Timers at and around every wheel-level boundary fire in time
+    order; each one cascades down through the levels as pages open."""
+    sim = make_sim(backend)
+    seen = []
+    delays = [
+        0, 1, 255, 256, 257, 65_535, 65_536, 65_537,
+        2**24 - 1, 2**24, 2**24 + 1, 2**32 - 1, 2**32, 2**32 + 1,
+    ]
+    for d in delays:
+        sim.after(d, lambda d=d: seen.append((sim.now, d)))
+    sim.run()
+    assert seen == [(d, d) for d in sorted(delays)]
+    assert sim.pending == 0 and sim.heap_size == 0
+
+
+def test_cancelled_far_timer_never_cascades_alive(backend):
+    sim = make_sim(backend)
+    fired = []
+    doomed = sim.after(2**32 + 7, lambda: fired.append("doomed"))
+    sim.after(2**32 + 8, lambda: fired.append("ok"))
+    doomed.cancel()
+    sim.run()
+    assert fired == ["ok"]
+    assert sim.dead_in_heap == 0  # swept during the cascade/drain
+
+
+def test_counters_are_backend_native(backend):
+    """events_cancelled / dead_in_heap / heap_size / compactions report
+    live numbers for the active backend — never stale figures from the
+    other one."""
+    sim = make_sim(backend)
+    handles = [sim.at(100 + i, lambda: None) for i in range(10)]
+    assert sim.heap_size == 10 and sim.pending == 10
+    for h in handles[:4]:
+        h.cancel()
+    assert sim.events_cancelled == 4
+    assert sim.dead_in_heap == 4
+    assert sim.heap_size == 10  # lazy: dead entries still occupy slots
+    assert sim.pending == 6
+    sim.compact()
+    assert sim.compactions == 1
+    assert sim.dead_in_heap == 0
+    assert sim.heap_size == 6
+    assert sim.pending == 6
+    sim.run()
+    assert sim.events_run == 6
+    assert sim.heap_size == 0
+
+
+def test_post_fires_without_handle(backend):
+    sim = make_sim(backend)
+    seen = []
+    assert sim.post(5, lambda: seen.append(sim.now)) is None
+    assert sim.post_at(5, lambda: seen.append(sim.now * 10)) is None
+    sim.post(0, lambda: seen.append(0))
+    sim.run()
+    assert seen == [0, 5, 50]
+    assert sim.events_run == 3
+
+
+def test_post_and_after_share_fifo_order(backend):
+    sim = make_sim(backend)
+    order = []
+    sim.after(5, lambda: order.append("a"))
+    sim.post(5, lambda: order.append("b"))
+    sim.after(5, lambda: order.append("c"))
+    sim.post_at(5, lambda: order.append("d"))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_bounded_run_then_late_insert(backend):
+    """run(until=...) advances now to the bound; later inserts below the
+    internal scan position still fire, in order."""
+    sim = make_sim(backend)
+    seen = []
+    sim.at(1000, lambda: seen.append("far"))
+    assert sim.run(until=500) == 0
+    assert sim.now == 500
+    sim.at(600, lambda: seen.append("mid"))
+    sim.post_at(600, lambda: seen.append("mid2"))
+    sim.run()
+    assert seen == ["mid", "mid2", "far"]
+
+
+def test_step_and_max_events(backend):
+    sim = make_sim(backend)
+    seen = []
+    for i in range(5):
+        sim.at(10 * (i + 1), lambda i=i: seen.append(i))
+    assert sim.step() is True
+    assert seen == [0]
+    assert sim.run(max_events=2) == 2
+    assert seen == [0, 1, 2]
+    assert sim.run() == 2
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled(backend):
+    sim = make_sim(backend)
+    dead = sim.at(5, lambda: None)
+    sim.at(9, lambda: None)
+    dead.cancel()
+    assert sim.peek_time() == 9
+    far_dead = sim.at(2**20, lambda: None)
+    sim.run()
+    far_dead.cancel()
+    assert sim.peek_time() is None
+
+
+def test_reentrant_run_raises(backend):
+    from repro.sim.engine import SimulationError
+
+    sim = make_sim(backend)
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError:
+            errors.append(True)
+
+    sim.at(1, reenter)
+    sim.run()
+    assert errors == [True]
+
+
+def _torture_trace(backend, seed, events=4000):
+    """A randomized schedule exercising cancels, zero delays, cascade
+    boundaries, posts, and peeks; returns the full observable trace."""
+    rng = random.Random(seed)
+    sim = make_sim(backend)
+    log = []
+    handles = []
+    delays = [0, 0, 1, 3, 17, 255, 256, 257, 65_535, 65_536, 2**24 + 5]
+
+    def make_cb(tag):
+        def cb():
+            log.append((sim.now, tag))
+            roll = rng.random()
+            if roll < 0.6 and len(log) < events:
+                delay = rng.choice(delays)
+                if rng.random() < 0.5:
+                    handles.append(sim.after(delay, make_cb(tag + 1)))
+                else:
+                    sim.post(delay, make_cb(-tag))
+            if roll > 0.8 and handles:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            if roll > 0.95:
+                log.append(("peek", sim.peek_time()))
+        return cb
+
+    for k in range(40):
+        sim.after(rng.randrange(0, 2000), make_cb(k))
+    sim.run()
+    return log, sim.now, sim.events_run, sim.events_cancelled, sim.pending
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_backends_bit_identical_randomized(backend, seed):
+    if backend == "heap":
+        pytest.skip("differential runs once, under the wheel parameter")
+    assert _torture_trace("wheel", seed) == _torture_trace("heap", seed)
+
+
+def _bounded_trace(backend, seed):
+    rng = random.Random(seed)
+    sim = make_sim(backend)
+    log = []
+
+    def make_cb(tag):
+        def cb():
+            log.append((sim.now, tag))
+            if len(log) < 800:
+                sim.after(rng.choice([0, 1, 100, 65_536]), make_cb(tag + 1))
+                if rng.random() < 0.3:
+                    sim.after(rng.choice([5, 500]), make_cb(tag + 2)).cancel()
+        return cb
+
+    for k in range(10):
+        sim.after(rng.randrange(0, 400), make_cb(k))
+    t = 0
+    while len(log) < 1500:
+        t += rng.choice([50, 333, 70_000])
+        ran = sim.run(until=t, max_events=rng.choice([None, 7]))
+        log.append(("chunk", sim.now, ran, sim.pending))
+        if sim.pending == 0 and len(log) >= 800:
+            break
+    for _ in range(5):
+        log.append(("step", sim.step(), sim.now))
+    return log, sim.events_run, sim.events_cancelled
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_backends_bit_identical_bounded(backend, seed):
+    if backend == "heap":
+        pytest.skip("differential runs once, under the wheel parameter")
+    assert _bounded_trace("wheel", seed) == _bounded_trace("heap", seed)
+
+
+def _cluster_fingerprint(backend, monkeypatch):
+    """A small rack run with a fault plan and full tracing — the
+    heaviest client of the engine (cancellations, far timers, probes)."""
+    from repro.cluster import Cluster
+    from repro.core import concord
+    from repro.faults import FaultPlan, ServerCrash, TelemetryBlackout
+    from repro.hardware import c6420
+    from repro.obs import TraceConfig, tracing
+    from repro.workloads import PoissonProcess, bimodal_50_1_50_100
+
+    monkeypatch.setenv("REPRO_QUEUE", backend)
+    workload = bimodal_50_1_50_100()
+    plan = FaultPlan(faults=(
+        ServerCrash(at_us=200.0, down_us=150.0, server=0),
+        TelemetryBlackout(at_us=100.0, duration_us=300.0),
+    ))
+    cluster = Cluster(
+        c6420(2), concord(5.0), 2, policy="jsq", seed=17, fault_plan=plan,
+    )
+    load = 0.6 * 2 * 2 * 1e6 / workload.mean_us()
+    with tracing(TraceConfig.full()) as session:
+        result = cluster.run(workload, PoissonProcess(load), 400)
+    trace_shape = [
+        (bus.label, len(bus.events) if bus.events is not None else None)
+        for bus in session.buses
+    ]
+    return (
+        [(r.rid, r.completion_cycle, r.payload["server"])
+         for r in result.records],
+        result.num_offered,
+        len(result.records),
+        trace_shape,
+    )
+
+
+def test_cluster_with_faults_and_tracing_bit_identical(backend, monkeypatch):
+    if backend == "heap":
+        pytest.skip("differential runs once, under the wheel parameter")
+    wheel = _cluster_fingerprint("wheel", monkeypatch)
+    heap = _cluster_fingerprint("heap", monkeypatch)
+    assert wheel == heap
+    assert wheel[1] > 0 and wheel[2] > 0
