@@ -24,6 +24,7 @@ TRAJECTORY = (
     "BENCH_obs.json",
     "BENCH_faults.json",
     "BENCH_engine.json",
+    "BENCH_resilience.json",
 )
 
 #: Metrics where *down* is an improvement (times, overheads, slowdowns).

@@ -35,6 +35,26 @@ def _add_parallel_args(parser):
         "--no-cache", action="store_true",
         help="always re-simulate; do not read or write the result cache",
     )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="journal completed jobs to FILE so an interrupted sweep can "
+             "be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve already-journaled jobs from --checkpoint instead of "
+             "re-simulating them",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job watchdog: a job running longer is killed, retried, "
+             "and eventually quarantined (default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries before a crashing or hanging job is quarantined "
+             "(default: 2)",
+    )
 
 
 def _build_parser():
@@ -236,8 +256,14 @@ def _build_runner(args, stream=None):
     """A ParallelRunner from the shared --jobs / cache flags.  Tracing
     forces a serial, uncached runner: pooled or cached simulations never
     touch this process's trace session."""
-    from repro.parallel import ParallelRunner, ResultCache
+    from repro.parallel import ParallelRunner, ResultCache, SweepCheckpoint
 
+    if args.resume and not args.checkpoint:
+        print(
+            "concord-repro: error: --resume requires --checkpoint FILE",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     if tracecmd.tracing_requested(args):
         if stream is not None and (args.jobs not in (None, 1) or
                                    not args.no_cache):
@@ -248,8 +274,24 @@ def _build_runner(args, stream=None):
             )
         return tracecmd.serial_runner()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    checkpoint = None
+    if args.checkpoint:
+        try:
+            checkpoint = SweepCheckpoint(args.checkpoint, resume=args.resume)
+        except (ValueError, OSError) as exc:
+            print("concord-repro: error: {}".format(exc), file=sys.stderr)
+            raise SystemExit(2) from None
+        if args.resume and len(checkpoint) and stream is not None:
+            print(
+                "  [checkpoint: resuming; {} job(s) already journaled "
+                "in {}]".format(len(checkpoint), args.checkpoint),
+                file=stream,
+            )
     try:
-        return ParallelRunner(jobs=args.jobs, cache=cache)
+        return ParallelRunner(
+            jobs=args.jobs, cache=cache, checkpoint=checkpoint,
+            job_timeout=args.job_timeout, max_retries=args.max_retries,
+        )
     except ValueError as exc:  # e.g. REPRO_JOBS=garbage in the environment
         print("concord-repro: error: {}".format(exc), file=sys.stderr)
         raise SystemExit(2) from None
@@ -318,7 +360,8 @@ def _run_compare(args, stream):
         title="{} at {:.0f} kRps, quantum {:g}us, {} workers".format(
             workload.name, load / 1e3, args.quantum_us, args.workers),
     ), file=stream)
-    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+    if (runner.stats["jobs_run"] or runner.stats["cache_hits"]
+            or runner.stats.get("checkpoint_hits")):
         print("  " + runner.summary_line(), file=stream)
     return 0
 
@@ -370,7 +413,8 @@ def _run_rack(args, stream):
                   args.system, args.servers, workload.name, load / 1e3,
                   args.load_frac, args.staleness_us),
     ), file=stream)
-    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+    if (runner.stats["jobs_run"] or runner.stats["cache_hits"]
+            or runner.stats.get("checkpoint_hits")):
         print("  " + runner.summary_line(), file=stream)
     return 0
 
@@ -460,7 +504,8 @@ def _run_faults(args, stream):
                   args.scenario, args.system, args.servers, args.policy,
                   workload.name, load / 1e3, args.load_frac),
     ), file=stream)
-    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+    if (runner.stats["jobs_run"] or runner.stats["cache_hits"]
+            or runner.stats.get("checkpoint_hits")):
         print("  " + runner.summary_line(), file=stream)
     return 0
 
@@ -493,9 +538,26 @@ def _run_one(experiment_id, quality, seed, out_dir, stream, plot=False,
 
 
 def main(argv=None, stream=None):
+    from repro.parallel import SweepInterrupted
+
     stream = stream or sys.stdout
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, stream)
+    except SweepInterrupted as exc:
+        # The runner already flushed the journal; tell the user how to
+        # pick the sweep back up without losing the completed jobs.
+        print(
+            "concord-repro: interrupted with {} completed job(s) "
+            "journaled; resume with --resume --checkpoint {}".format(
+                exc.completed, exc.path,
+            ),
+            file=sys.stderr,
+        )
+        return 130
 
+
+def _dispatch(args, stream):
     if args.command == "list":
         width = max(len(eid) for eid in EXPERIMENTS)
         for eid in sorted(EXPERIMENTS):
@@ -539,7 +601,8 @@ def main(argv=None, stream=None):
             ),
             file=stream,
         )
-    if runner.stats["jobs_run"] or runner.stats["cache_hits"]:
+    if (runner.stats["jobs_run"] or runner.stats["cache_hits"]
+            or runner.stats.get("checkpoint_hits")):
         print("  " + runner.summary_line(), file=stream)
     return 0
 

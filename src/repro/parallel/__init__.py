@@ -1,19 +1,26 @@
-"""Parallel sweep execution: process-pool fan-out of independent
-simulation jobs with a content-addressed result cache.
+"""Parallel sweep execution: supervised process-pool fan-out of
+independent simulation jobs with a content-addressed result cache and a
+resumable checkpoint journal.
 
-Three layers:
+Four layers:
 
 * :mod:`repro.parallel.jobs` — picklable job specs (:class:`SimJob`,
   :class:`ServerJob`, :class:`RackJob`, :class:`FaultJob`) whose
   ``run()`` is a pure function
   of their fields;
 * :mod:`repro.parallel.runner` — :class:`ParallelRunner`, which maps jobs
-  across a process pool (or in-process when ``jobs=1`` / pickling fails)
-  and returns results bit-identical to serial execution;
+  across a supervised process pool (or in-process when ``jobs=1`` /
+  pickling fails) and returns results bit-identical to serial execution;
+  hung jobs are watchdog-killed, retried, and finally quarantined
+  (:class:`Quarantined`) without disturbing the rest of the sweep;
 * :mod:`repro.parallel.cache` — :class:`ResultCache`, keyed by a stable
   hash of (machine, config, workload, arrival process, seed, request
   count, code version), so re-running ``run all`` only re-simulates what
-  changed.
+  changed; corrupt entries self-heal into counted misses;
+* :mod:`repro.parallel.checkpoint` — :class:`SweepCheckpoint`, an
+  append-only CRC-verified journal of completed jobs, so an interrupted
+  sweep (:class:`SweepInterrupted`) resumes bit-identically from the
+  last completed job.
 """
 
 from repro.parallel.cache import (
@@ -23,11 +30,17 @@ from repro.parallel.cache import (
     default_cache_dir,
     stable_describe,
 )
+from repro.parallel.checkpoint import (
+    SweepCheckpoint,
+    checkpoint_job_key,
+)
 from repro.parallel.jobs import (
     FaultJob, RackJob, ServerJob, SimJob, execute_job,
 )
 from repro.parallel.runner import (
     ParallelRunner,
+    Quarantined,
+    SweepInterrupted,
     get_default_runner,
     resolve_jobs,
     set_default_runner,
@@ -41,6 +54,8 @@ __all__ = [
     "FaultJob",
     "execute_job",
     "ParallelRunner",
+    "Quarantined",
+    "SweepInterrupted",
     "resolve_jobs",
     "get_default_runner",
     "set_default_runner",
@@ -50,4 +65,6 @@ __all__ = [
     "stable_describe",
     "code_fingerprint",
     "default_cache_dir",
+    "SweepCheckpoint",
+    "checkpoint_job_key",
 ]

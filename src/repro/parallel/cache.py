@@ -21,6 +21,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 
@@ -196,9 +197,11 @@ def default_cache_dir():
 class ResultCache:
     """Pickle-on-disk store addressed by stable job-content hashes.
 
-    Layout: ``<dir>/<key[:2]>/<key>.pkl``.  Corrupt or unreadable entries
-    are treated as misses.  ``hits``/``misses``/``stores`` count this
-    instance's traffic.
+    Layout: ``<dir>/<key[:2]>/<key>.pkl``.  The store is *self-healing*:
+    a truncated, corrupted, or otherwise unreadable entry is a counted
+    miss (``corrupt``) whose poison file is deleted so it can never be
+    read — or crash a sweep — twice.  ``hits``/``misses``/``stores``
+    count this instance's traffic.
     """
 
     def __init__(self, cache_dir=None):
@@ -206,6 +209,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self._warned_corrupt = False
 
     def key_for(self, job):
         """The cache key for ``job``, or None when the job has no stable
@@ -225,14 +230,35 @@ class ResultCache:
         return self.cache_dir / key[:2] / (key + ".pkl")
 
     def get(self, key):
-        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise.
+
+        An entry that exists but cannot be read back (torn write, disk
+        corruption, stale class layout) self-heals: it is deleted,
+        counted under ``corrupt``, warned about once per cache, and
+        reported as a plain miss — never an exception."""
         path = self._path(key)
         try:
             with open(path, "rb") as f:
                 value = pickle.load(f)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except FileNotFoundError:
             self.misses += 1
+            return False, None
+        except Exception:
+            self.misses += 1
+            self.corrupt += 1
+            try:
+                os.unlink(str(path))
+            except OSError:
+                pass
+            if not self._warned_corrupt:
+                self._warned_corrupt = True
+                warnings.warn(
+                    "result cache entry {} was unreadable (truncated or "
+                    "corrupt); deleted it and treated the lookup as a "
+                    "miss".format(path.name),
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
             return False, None
         self.hits += 1
         return True, value
@@ -261,6 +287,10 @@ class ResultCache:
         return True
 
     def __repr__(self):
-        return "ResultCache(dir={!r}, hits={}, misses={}, stores={})".format(
-            str(self.cache_dir), self.hits, self.misses, self.stores
+        return (
+            "ResultCache(dir={!r}, hits={}, misses={}, stores={}, "
+            "corrupt={})".format(
+                str(self.cache_dir), self.hits, self.misses, self.stores,
+                self.corrupt,
+            )
         )

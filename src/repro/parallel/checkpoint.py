@@ -1,0 +1,325 @@
+"""Append-only, CRC-verified journal of completed sweep jobs.
+
+A long sweep is hours of compute assembled from seconds-sized jobs; the
+checkpoint makes the assembly *killable*.  As each job finishes, the
+runner appends one ``(job_key, result)`` record to the journal and
+flushes it, so a SIGINT (or a crash, or an OOM kill) at hour two loses at
+most the jobs still in flight.  Re-running the same sweep with the same
+checkpoint path resumes: every journaled job is served from the file,
+bit-identically, and only the remainder is simulated.
+
+Resilience properties:
+
+* **Torn tails are expected, not fatal.**  Every record carries its own
+  CRC-32 and length; a record cut off mid-write by the kill is detected,
+  counted (``dropped``), truncated away, and the journal appends from
+  the last intact record.
+* **Stale journals self-invalidate.**  The header stores the same code
+  fingerprint the result cache uses; a journal written by different
+  simulator code is discarded (with a warning) instead of resurrecting
+  results the current code would not produce.
+* **Keys are content-addressed when possible.**  A job with a stable
+  description (see :func:`repro.parallel.cache.stable_describe`) is
+  keyed by its content hash, so the resumed process does not need to
+  replay the exact submission order.  Jobs without one (lambdas in the
+  spec) fall back to their position in the sweep, which is deterministic
+  because sweeps are constructed deterministically.
+
+The journal is orchestration state, not simulation state: like the
+result cache, it lives outside the code fingerprint and never changes
+what a simulation computes — only whether it re-runs.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import warnings
+import zlib
+from pathlib import Path
+
+__all__ = [
+    "SweepCheckpoint",
+    "checkpoint_job_key",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_SCHEMA_VERSION",
+]
+
+#: First bytes of every journal; refuse to touch files that lack it.
+CHECKPOINT_MAGIC = b"REPROCKPT\x00"
+
+#: Bump when the frame layout or key derivation changes.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Per-record frame: kind byte, payload length, CRC-32 of the payload.
+_FRAME = struct.Struct("<cII")
+
+_KIND_HEADER = b"H"
+_KIND_RESULT = b"R"
+
+#: Upper bound on a sane payload; a length field above this is garbage
+#: (a torn frame whose length bytes landed mid-pickle), not a record.
+_MAX_PAYLOAD = 1 << 30
+
+
+def checkpoint_job_key(job, position):
+    """The journal key for ``job``, the ``position``-th job this runner
+    has seen.
+
+    Content hash of the stable description when the spec has one (no
+    code fingerprint — the journal header covers that file-wide), else
+    ``"pos:<n>"``: re-running the same sweep rebuilds the same job list
+    in the same order, so positions are reproducible identities too.
+    """
+    from repro.parallel.cache import UncacheableValue, stable_describe
+
+    try:
+        material = stable_describe(job)
+    except UncacheableValue:
+        return "pos:{:08d}".format(position)
+    payload = json.dumps(
+        [CHECKPOINT_SCHEMA_VERSION, material],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepCheckpoint:
+    """Resumable journal of completed ``(job_key, result)`` pairs.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  Created (with parents) if missing.
+    fingerprint:
+        Code-version stamp stored in the header.  Defaults to
+        :func:`repro.parallel.cache.code_fingerprint`; an existing
+        journal with a different stamp is discarded as stale.
+    resume:
+        When True (default), load every intact record from an existing
+        journal before appending.  When False, an existing journal is
+        overwritten — the sweep starts fresh.
+
+    Counters: ``loaded`` (records recovered on open), ``appends``
+    (records written by this instance), ``dropped`` (corrupt/torn
+    frames discarded on open), ``skipped`` (unpicklable results that
+    could not be journaled), plus the ``stale`` flag.
+    """
+
+    def __init__(self, path, fingerprint=None, resume=True):
+        self.path = Path(path)
+        if fingerprint is None:
+            from repro.parallel.cache import code_fingerprint
+
+            fingerprint = code_fingerprint()
+        self.fingerprint = fingerprint
+        self.entries = {}
+        self.loaded = 0
+        self.appends = 0
+        self.dropped = 0
+        self.skipped = 0
+        self.stale = False
+        self._warned_skip = False
+        self._file = None
+        valid_until = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            if resume:
+                valid_until = self._load()
+            else:
+                # Starting fresh still must not clobber a file that was
+                # never a checkpoint — only journals are ours to discard.
+                self._check_magic()
+        self.loaded = len(self.entries)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        if valid_until:
+            self._file = open(self.path, "r+b")
+            # Drop any torn tail so the next append starts on a frame
+            # boundary; everything before it was CRC-verified.
+            self._file.truncate(valid_until)
+            self._file.seek(valid_until)
+        else:
+            self._file = open(self.path, "wb")
+            self._file.write(CHECKPOINT_MAGIC)
+            header = json.dumps(
+                {
+                    "schema": CHECKPOINT_SCHEMA_VERSION,
+                    "fingerprint": self.fingerprint,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            self._write_frame(_KIND_HEADER, header)
+            self._file.flush()
+
+    # -- reading --------------------------------------------------------
+
+    def _check_magic(self):
+        with open(self.path, "rb") as f:
+            if f.read(len(CHECKPOINT_MAGIC)) != CHECKPOINT_MAGIC:
+                raise ValueError(
+                    "{} is not a repro sweep checkpoint (bad magic); "
+                    "refusing to resume from or overwrite it".format(
+                        self.path
+                    )
+                )
+
+    def _load(self):
+        """Recover every intact record; returns the byte offset of the
+        last verified frame (0 when the journal is foreign or stale)."""
+        with open(self.path, "rb") as f:
+            magic = f.read(len(CHECKPOINT_MAGIC))
+            if magic != CHECKPOINT_MAGIC:
+                raise ValueError(
+                    "{} is not a repro sweep checkpoint (bad magic); "
+                    "refusing to resume from or overwrite it".format(
+                        self.path
+                    )
+                )
+            offset = len(CHECKPOINT_MAGIC)
+            saw_header = False
+            while True:
+                frame = f.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    if frame:
+                        self.dropped += 1
+                    break
+                kind, length, crc = _FRAME.unpack(frame)
+                if kind not in (_KIND_HEADER, _KIND_RESULT) or (
+                    length > _MAX_PAYLOAD
+                ):
+                    self.dropped += 1
+                    break
+                payload = f.read(length)
+                if len(payload) < length or (
+                    zlib.crc32(payload) & 0xFFFFFFFF
+                ) != crc:
+                    self.dropped += 1
+                    break
+                if kind == _KIND_HEADER:
+                    if not self._header_matches(payload):
+                        self.stale = True
+                        self.entries.clear()
+                        warnings.warn(
+                            "checkpoint {} was written by a different "
+                            "code version; its results are not "
+                            "reusable — starting fresh".format(self.path),
+                            RuntimeWarning,
+                            stacklevel=4,
+                        )
+                        return 0
+                    saw_header = True
+                else:
+                    try:
+                        key, value = pickle.loads(payload)
+                    except Exception:
+                        self.dropped += 1
+                        break
+                    self.entries[key] = value
+                offset += _FRAME.size + length
+            if not saw_header:
+                self.entries.clear()
+                return 0
+            return offset
+
+    def _header_matches(self, payload):
+        try:
+            header = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return False
+        if header.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            return False
+        stamp = header.get("fingerprint")
+        # A None on either side opts out of fingerprint checking (tests
+        # and tools that journal non-simulation payloads).
+        if stamp is None or self.fingerprint is None:
+            return True
+        return stamp == self.fingerprint
+
+    # -- writing --------------------------------------------------------
+
+    def _write_frame(self, kind, payload):
+        self._file.write(
+            _FRAME.pack(kind, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        )
+        self._file.write(payload)
+
+    def record(self, key, value):
+        """Journal one completed job; flushed immediately so a kill
+        right after loses nothing.  Unpicklable results are counted and
+        skipped (they simply re-run on resume), never fatal."""
+        if self._file is None or self._file.closed:
+            return False
+        try:
+            payload = pickle.dumps(
+                (key, value), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            self.skipped += 1
+            if not self._warned_skip:
+                self._warned_skip = True
+                warnings.warn(
+                    "checkpoint could not journal a result ({}); the "
+                    "job will re-run on resume".format(
+                        str(exc)[:200]
+                    ),
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return False
+        self._write_frame(_KIND_RESULT, payload)
+        self._file.flush()
+        self.entries[key] = value
+        self.appends += 1
+        return True
+
+    def get(self, key):
+        """``(True, value)`` when ``key`` was journaled, else
+        ``(False, None)``."""
+        if key in self.entries:
+            return True, self.entries[key]
+        return False, None
+
+    def __contains__(self, key):
+        return key in self.entries
+
+    def __len__(self):
+        return len(self.entries)
+
+    def flush(self):
+        """Force the journal to disk (fsync, best effort) — called on
+        interrupt so the resume hint is guaranteed honest."""
+        if self._file is None or self._file.closed:
+            return
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError:
+            pass
+
+    def close(self):
+        if self._file is not None and not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self):
+        return (
+            "SweepCheckpoint(path={!r}, entries={}, loaded={}, appends={}, "
+            "dropped={})".format(
+                str(self.path), len(self.entries), self.loaded,
+                self.appends, self.dropped,
+            )
+        )

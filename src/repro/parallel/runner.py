@@ -1,10 +1,28 @@
-"""Process-pool execution of independent simulation jobs.
+"""Process-pool execution of independent simulation jobs, supervised.
 
 The figures are embarrassingly parallel: every (config, load point) cell is
 an independent simulation seeded purely by its own spec.  The runner fans
-cells out across a ``multiprocessing`` pool and reassembles results in
-submission order, so parallel sweeps are **bit-identical** to serial ones
-(the per-job RNG derivation never touches process-global state).
+cells out across a process pool and reassembles results in submission
+order, so parallel sweeps are **bit-identical** to serial ones (the per-job
+RNG derivation never touches process-global state).
+
+The pool is *supervised* — a sweep is treated as a production workload,
+not a best-effort script:
+
+* Chunks are dispatched asynchronously; completed chunks are **kept** even
+  when another chunk's worker dies, so one bad job can no longer discard
+  an hour of finished results.
+* ``job_timeout`` arms a per-job watchdog: a job that hangs past it is
+  terminated (the pool is recycled), retried up to ``max_retries`` times,
+  then **quarantined** — its result slot holds a :class:`Quarantined`
+  record naming the culprit, and every other job still completes.
+* A worker that crashes hard (``os._exit``, segfault) is detected via the
+  broken-pool signal; the jobs it took down are retried in isolation and
+  quarantined if they keep killing workers.
+* A :class:`~repro.parallel.checkpoint.SweepCheckpoint` journals every
+  completed job as it lands; SIGINT/SIGTERM during a checkpointed
+  ``map()`` flushes the journal and raises :class:`SweepInterrupted` with
+  a resume hint instead of losing uncached work.
 
 Degradation is graceful, counted, and warned about (one
 :class:`RuntimeWarning` per runner, so a sweep that quietly lost its
@@ -13,7 +31,7 @@ parallelism is visible without flooding the log):
 * ``jobs=1`` (the default), a single-job batch, or an unpicklable batch all
   run in-process with zero multiprocessing overhead;
 * a pool that fails to start (restricted environments) falls back to
-  in-process execution;
+  in-process execution — of the *unfinished remainder only*;
 * a :class:`~repro.parallel.cache.ResultCache` short-circuits any job whose
   content hash was computed before, on this or any earlier run.
 
@@ -23,15 +41,21 @@ without an explicit ``jobs=``; the CLI's ``--jobs`` overrides it.
 
 import os
 import pickle
+import signal
+import threading
 import time
 import warnings
 from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
 
 from repro.obs.registry import TelemetryRegistry
 from repro.parallel.jobs import execute_job
 
 __all__ = [
     "ParallelRunner",
+    "Quarantined",
+    "SweepInterrupted",
     "resolve_jobs",
     "get_default_runner",
     "set_default_runner",
@@ -39,6 +63,10 @@ __all__ = [
 ]
 
 _MISSING = object()
+
+#: Seconds between supervision sweeps of the in-flight future set (also
+#: the interrupt-flag latency).
+_POLL_SECONDS = 0.05
 
 
 def resolve_jobs(jobs=None):
@@ -68,6 +96,46 @@ def _cpu_count():
         return max(1, os.cpu_count() or 1)
 
 
+def _clip(text, limit=200):
+    """Cap embedded free text (exception reprs, job reprs) so one huge
+    message cannot flood a warning or the telemetry footer."""
+    text = str(text)
+    if len(text) <= limit:
+        return text
+    return text[: limit - 3] + "..."
+
+
+@dataclass(frozen=True)
+class Quarantined:
+    """The result slot of a job the supervisor gave up on: it hung past
+    the watchdog or kept killing workers through every allowed retry.
+    Holds the culprit spec so the footer (and the caller) can name it."""
+
+    job: Any
+    reason: str
+    attempts: int
+
+    def describe(self):
+        return "{} after {} attempt(s): {}".format(
+            _clip(repr(self.job), 120), self.attempts, self.reason
+        )
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM during a checkpointed ``map()``: the journal was
+    flushed first, so ``completed`` jobs survive — resume by re-running
+    with the same checkpoint path."""
+
+    def __init__(self, path, completed):
+        self.path = path
+        self.completed = completed
+        super().__init__(
+            "sweep interrupted; {} completed job(s) journaled to {}".format(
+                completed, path
+            )
+        )
+
+
 def _run_timed(job):
     """Execute one job and return ``(result, wall_seconds)``.
 
@@ -84,8 +152,28 @@ def _run_timed_batch(jobs):
     """Execute a pre-chunked list of jobs in one pool task.
 
     Shipping a list per task (instead of one job per task) amortizes the
-    pickle + IPC round-trip that made small sweeps slower than serial."""
-    return [_run_timed(job) for job in jobs]
+    pickle + IPC round-trip that made small sweeps slower than serial.
+    Each row is ``("ok", value, seconds)`` or ``("err", exc, seconds)`` —
+    a raising job must not discard its chunk-mates' finished results, so
+    exceptions travel back as data, not as a poisoned task."""
+    rows = []
+    for job in jobs:
+        started = time.perf_counter()  # repro-san: ignore[DET001] -- wall-clock job timing for the runner telemetry footer only; never enters results
+        try:
+            value = execute_job(job)
+        except Exception as exc:
+            seconds = time.perf_counter() - started  # repro-san: ignore[DET001] -- wall-clock job timing for the runner telemetry footer only; never enters results
+            try:
+                pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                exc = RuntimeError(
+                    _clip("{}: {}".format(type(exc).__name__, exc))
+                )
+            rows.append(("err", exc, seconds))
+        else:
+            seconds = time.perf_counter() - started  # repro-san: ignore[DET001] -- wall-clock job timing for the runner telemetry footer only; never enters results
+            rows.append(("ok", value, seconds))
+    return rows
 
 
 def _warm_worker():
@@ -98,33 +186,28 @@ def _warm_worker():
     import repro.workloads.named  # noqa: F401
 
 
-def _pickle_culprit(batch):
-    """Name the first unpicklable thing in ``batch``, as precisely as we
-    can: for a dataclass job, probe each field individually so the warning
+def _pickle_culprit(job):
+    """Name the unpicklable thing in ``job``, as precisely as we can:
+    for a dataclass job, probe each field individually so the warning
     reads ``SimJob.arrival_factory`` instead of an opaque lambda repr."""
     import dataclasses
 
-    for job in batch:
-        try:
-            pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
-            name = type(job).__name__
-            if dataclasses.is_dataclass(job):
-                for field in dataclasses.fields(job):
-                    try:
-                        pickle.dumps(
-                            getattr(job, field.name),
-                            protocol=pickle.HIGHEST_PROTOCOL,
-                        )
-                    except Exception:
-                        return "{}.{}".format(name, field.name)
-            return name
-    return None
+    name = type(job).__name__
+    if dataclasses.is_dataclass(job):
+        for field in dataclasses.fields(job):
+            try:
+                pickle.dumps(
+                    getattr(job, field.name),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception:
+                return "{}.{}".format(name, field.name)
+    return name
 
 
 class ParallelRunner:
-    """Maps job specs to results, in order, with optional parallelism and
-    caching.
+    """Maps job specs to results, in order, with optional parallelism,
+    caching, checkpointing, and per-job supervision.
 
     Parameters
     ----------
@@ -137,22 +220,56 @@ class ParallelRunner:
     chunksize:
         Jobs per pool task.  Default: batch split into ~4 chunks per
         worker, so stragglers (high-load points take longest) rebalance.
+        Ignored (forced to 1) when ``job_timeout`` is set — watchdog
+        precision needs per-job tasks.
+    checkpoint:
+        Optional :class:`~repro.parallel.checkpoint.SweepCheckpoint`.
+        Completed jobs are journaled as they land and served back on
+        resume; SIGINT/SIGTERM during ``map()`` flushes the journal and
+        raises :class:`SweepInterrupted` instead of dying dirty.
+    job_timeout:
+        Watchdog seconds per job (pooled execution only — an in-process
+        job cannot be preempted).  ``None`` disables the watchdog.
+    max_retries:
+        How many times a hung or worker-killing job is re-dispatched
+        before it is quarantined (default 2).
     """
 
-    def __init__(self, jobs=None, cache=None, chunksize=None):
+    def __init__(self, jobs=None, cache=None, chunksize=None,
+                 checkpoint=None, job_timeout=None, max_retries=2):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.chunksize = chunksize
+        self.checkpoint = checkpoint
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(
+                "job_timeout must be positive seconds or None, got "
+                "{!r}".format(job_timeout)
+            )
+        self.job_timeout = job_timeout
+        if max_retries is None:
+            max_retries = 2
+        if max_retries < 0:
+            raise ValueError(
+                "max_retries must be >= 0, got {!r}".format(max_retries)
+            )
+        self.max_retries = int(max_retries)
         self.stats = {
             "jobs_run": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "checkpoint_hits": 0,
             "parallel_batches": 0,
             "serial_batches": 0,
             "fallbacks": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "quarantined": 0,
             "pool_starts": 0,
             "pool_reuses": 0,
         }
+        #: Quarantined records, in the order the supervisor gave up.
+        self.quarantined = []
         #: Per-job wall times and hit/miss counters land here; the sweep
         #: CLI prints :meth:`summary_line` from it.
         self.telemetry = TelemetryRegistry()
@@ -162,17 +279,27 @@ class ParallelRunner:
         #: original runner slower than serial on small sweeps.
         self._pool = None
         self._pool_workers = 0
-        #: Wall seconds spent inside parallel pool.map calls, versus the
+        #: Wall seconds spent supervising parallel dispatch, versus the
         #: in-worker compute seconds — the footer's speedup estimate.
         self._parallel_wall = 0.0
+        #: Monotone count of jobs ever submitted to :meth:`map` — the
+        #: positional fallback identity for checkpoint keys.
+        self._job_counter = 0
+        #: Set by the signal handler installed around checkpointed maps.
+        self._interrupted = False
 
     # -- the public API -----------------------------------------------------
 
     def map(self, jobs):
-        """Execute every job; returns results in input order."""
+        """Execute every job; returns results in input order.
+
+        A slot holds a :class:`Quarantined` record instead of a result
+        when supervision gave up on that job (see class docstring)."""
         jobs = list(jobs)
         results = [_MISSING] * len(jobs)
         keys = [None] * len(jobs)
+        positions = range(self._job_counter, self._job_counter + len(jobs))
+        self._job_counter += len(jobs)
         cache = self.cache
         if cache is not None:
             for i, job in enumerate(jobs):
@@ -185,54 +312,150 @@ class ParallelRunner:
             hits = sum(1 for r in results if r is not _MISSING)
             self.stats["cache_hits"] += hits
             self.telemetry.count("runner.cache_hits", hits)
+        checkpoint = self.checkpoint
+        ck_keys = [None] * len(jobs)
+        if checkpoint is not None:
+            from repro.parallel.checkpoint import checkpoint_job_key
+
+            ck_hits = 0
+            for i, job in enumerate(jobs):
+                if results[i] is not _MISSING:
+                    continue
+                ck_keys[i] = checkpoint_job_key(job, positions[i])
+                hit, value = checkpoint.get(ck_keys[i])
+                if hit:
+                    results[i] = value
+                    ck_hits += 1
+                    if cache is not None and keys[i] is not None:
+                        cache.put(keys[i], value)
+            self.stats["checkpoint_hits"] += ck_hits
+            self.telemetry.count("runner.checkpoint_hits", ck_hits)
         pending = [i for i, r in enumerate(results) if r is _MISSING]
         if pending:
-            outputs = self._execute([jobs[i] for i in pending])
-            for i, (value, seconds) in zip(pending, outputs):
-                results[i] = value
+            def deliver(j, value, seconds):
+                # Called the moment a job settles — journal and cache it
+                # immediately so nothing completed can be lost later.
+                i = pending[j]
                 self.telemetry.sample("runner.job_seconds", i, seconds)
                 if cache is not None and keys[i] is not None:
                     cache.put(keys[i], value)
-            self.stats["jobs_run"] += len(pending)
-            self.telemetry.count("runner.jobs_run", len(pending))
+                if checkpoint is not None and ck_keys[i] is not None:
+                    checkpoint.record(ck_keys[i], value)
+
+            with self._supervised():
+                outputs = self._execute(
+                    [jobs[i] for i in pending], on_result=deliver
+                )
+            completed = 0
+            for j, i in enumerate(pending):
+                value, _seconds = outputs[j]
+                results[i] = value
+                if not isinstance(value, Quarantined):
+                    completed += 1
+            self.stats["jobs_run"] += completed
+            self.telemetry.count("runner.jobs_run", completed)
             if cache is not None:
                 self.stats["cache_misses"] += len(pending)
                 self.telemetry.count("runner.cache_misses", len(pending))
         return results
 
     def run(self, job):
-        """Execute a single job (cache-aware)."""
+        """Execute a single job (cache- and checkpoint-aware)."""
         return self.map([job])[0]
+
+    # -- interrupt supervision ----------------------------------------------
+
+    @contextmanager
+    def _supervised(self):
+        """Install SIGINT/SIGTERM handlers around a checkpointed map so
+        an interrupt flushes the journal and stops between jobs instead
+        of tearing mid-write.  A second signal aborts immediately."""
+        if self.checkpoint is None or (
+            threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+        self._interrupted = False
+        previous = {}
+
+        def handler(signum, frame):
+            if self._interrupted:
+                raise KeyboardInterrupt
+            self._interrupted = True
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # non-main interpreter quirks
+                pass
+        try:
+            yield
+        finally:
+            for sig, prev in previous.items():
+                signal.signal(sig, prev)
+
+    def _check_interrupt(self):
+        if not self._interrupted:
+            return
+        checkpoint = self.checkpoint
+        self.close()
+        if checkpoint is not None:
+            checkpoint.flush()
+        raise SweepInterrupted(
+            str(checkpoint.path) if checkpoint is not None else None,
+            len(checkpoint) if checkpoint is not None else 0,
+        )
 
     # -- execution strategies ----------------------------------------------
 
-    def _execute(self, batch):
+    def _execute(self, batch, on_result=None):
+        """Run ``batch``, returning ``[(value, seconds), ...]`` aligned
+        with it; ``on_result(index, value, seconds)`` fires as each job
+        settles (quarantined slots excepted)."""
+        outputs = [_MISSING] * len(batch)
+
+        def settle(i, value, seconds):
+            outputs[i] = (value, seconds)
+            if on_result is not None and not isinstance(value, Quarantined):
+                on_result(i, value, seconds)
+
         workers = min(self.jobs, len(batch))
         if workers > 1 and self._picklable(batch):
             try:
-                return self._execute_pool(batch, workers)
+                self._execute_pool(batch, workers, outputs, settle)
             except OSError as exc:
                 # Pool creation can fail in sandboxed/restricted
-                # environments; the results must not.
+                # environments; the results must not.  Whatever already
+                # finished is kept — only the remainder runs in-process.
+                unfinished = sum(1 for o in outputs if o is _MISSING)
                 self._note_fallback(
-                    "process pool unavailable ({}); running {} job(s) "
-                    "in-process".format(exc, len(batch))
+                    "process pool unavailable ({}); running {} unfinished "
+                    "job(s) in-process".format(_clip(str(exc)), unfinished)
                 )
-        self.stats["serial_batches"] += 1
-        return [_run_timed(job) for job in batch]
+        remainder = [i for i, o in enumerate(outputs) if o is _MISSING]
+        if remainder:
+            self.stats["serial_batches"] += 1
+            for i in remainder:
+                self._check_interrupt()
+                value, seconds = _run_timed(batch[i])
+                settle(i, value, seconds)
+        return outputs
 
     def _picklable(self, batch):
-        try:
-            pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
-            return True
-        except Exception as exc:
-            culprit = _pickle_culprit(batch)
-            detail = " (culprit: {})".format(culprit) if culprit else ""
-            self._note_fallback(
-                "job batch is not picklable ({}){}; running {} job(s) "
-                "in-process".format(exc, detail, len(batch))
-            )
-            return False
+        """Lazily probe the batch: stop at the first unpicklable job and
+        name its offending field, without ever pickling the batch twice."""
+        for job in batch:
+            try:
+                pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                culprit = _pickle_culprit(job)
+                detail = " (culprit: {})".format(culprit) if culprit else ""
+                self._note_fallback(
+                    "job batch is not picklable ({}){}; running {} job(s) "
+                    "in-process".format(_clip(str(exc)), detail, len(batch))
+                )
+                return False
+        return True
 
     def _note_fallback(self, reason):
         """Count a degradation to serial execution, warning once per
@@ -244,7 +467,7 @@ class ParallelRunner:
                 "ParallelRunner(jobs={}) fell back to serial execution: "
                 "{}".format(self.jobs, reason),
                 RuntimeWarning,
-                stacklevel=4,
+                stacklevel=5,
             )
 
     def _get_pool(self, workers):
@@ -255,49 +478,211 @@ class ParallelRunner:
             return self._pool
         self.close()
         import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
 
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
-        self._pool = context.Pool(
-            processes=workers, initializer=_warm_worker
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_warm_worker,
         )
         self._pool_workers = workers
         self.stats["pool_starts"] += 1
         return self._pool
 
-    def _execute_pool(self, batch, workers):
+    def _chunk(self, pending, workers, singleton):
+        if singleton:
+            return [[i] for i in pending]
         chunksize = self.chunksize or max(
-            1, (len(batch) + 4 * workers - 1) // (4 * workers)
+            1, (len(pending) + 4 * workers - 1) // (4 * workers)
         )
-        chunks = [
-            batch[i:i + chunksize] for i in range(0, len(batch), chunksize)
+        return [
+            pending[k:k + chunksize]
+            for k in range(0, len(pending), chunksize)
         ]
-        pool = self._get_pool(workers)
-        started = time.perf_counter()  # repro-san: ignore[DET001] -- wall-clock batch timing for the runner footer only; never enters results
-        try:
-            nested = pool.map(_run_timed_batch, chunks, chunksize=1)
-        except Exception as exc:
-            # A dead or broken pool must not take the sweep down; discard
-            # it and let the caller fall back to in-process execution.
-            self.close()
-            raise OSError(
-                "worker pool failed mid-batch: {}".format(exc)
-            ) from exc
-        self._parallel_wall += time.perf_counter() - started  # repro-san: ignore[DET001] -- wall-clock batch timing for the runner footer only; never enters results
-        self.stats["parallel_batches"] += 1
-        return [timed for chunk in nested for timed in chunk]
+
+    def _execute_pool(self, batch, workers, outputs, settle):
+        """Asynchronous, supervised pool dispatch.
+
+        Chunks are submitted as independent futures and collected as they
+        finish, so a hung or crashing job never takes finished results
+        with it.  Each failure round terminates the pool, blames the
+        culpable jobs, and re-dispatches the survivors as singleton
+        tasks; a job that exhausts ``max_retries`` is quarantined.
+        Raises ``OSError`` only when the pool itself cannot run — the
+        caller then finishes the (salvaged) remainder in-process."""
+        pending = [i for i, o in enumerate(outputs) if o is _MISSING]
+        attempts = [0] * len(batch)
+        error = None
+        round_num = 0
+        while pending:
+            # Watchdog rounds and retry rounds use singleton tasks: the
+            # blame for a timeout or a dead worker must land on one job.
+            singleton = round_num > 0 or self.job_timeout is not None
+            chunks = self._chunk(pending, workers, singleton)
+            pool = self._get_pool(workers)
+            started = time.perf_counter()  # repro-san: ignore[DET001] -- wall-clock batch timing for the runner footer only; never enters results
+            futures = {}
+            submit_error = None
+            for chunk in chunks:
+                deadline = None
+                if self.job_timeout is not None:
+                    deadline = time.monotonic() + (  # repro-san: ignore[DET001] -- watchdog deadline for supervision only; never enters results
+                        self.job_timeout * len(chunk)
+                    )
+                try:
+                    fut = pool.submit(
+                        _run_timed_batch, [batch[i] for i in chunk]
+                    )
+                except (OSError, RuntimeError) as exc:
+                    # Couldn't start/feed workers; collect what was
+                    # already submitted, then report the pool unusable.
+                    submit_error = exc
+                    break
+                futures[fut] = (chunk, deadline)
+            if futures:
+                self.stats["parallel_batches"] += 1
+            blamed, broken = self._collect(
+                batch, futures, settle, attempts
+            )
+            self._parallel_wall += time.perf_counter() - started  # repro-san: ignore[DET001] -- wall-clock batch timing for the runner footer only; never enters results
+            if broken or submit_error is not None:
+                self.close()
+            # Errors raised *by a job* are deterministic: re-raise after
+            # the whole round settled (and was checkpointed).
+            if error is None and blamed["errors"]:
+                error = blamed["errors"][0]
+            if error is not None:
+                raise error
+            survivors = [i for i in pending if outputs[i] is _MISSING]
+            if submit_error is not None:
+                raise OSError(
+                    "worker pool failed mid-batch: {}".format(
+                        _clip(str(submit_error))
+                    )
+                ) from submit_error
+            if not survivors:
+                return
+            retried = []
+            for i in survivors:
+                if i in blamed["jobs"]:
+                    attempts[i] += 1
+                    if attempts[i] > self.max_retries:
+                        self._quarantine(
+                            batch[i], attempts[i], blamed["jobs"][i], settle,
+                            i,
+                        )
+                        continue
+                retried.append(i)
+            self.stats["retries"] += sum(
+                1 for i in retried if i in blamed["jobs"]
+            )
+            pending = retried
+            round_num += 1
+
+    def _collect(self, batch, futures, settle, attempts):
+        """Drain the in-flight future set, settling jobs as they land.
+
+        Returns ``(blamed, broken)`` where ``blamed["jobs"]`` maps job
+        index -> failure reason for this round and ``blamed["errors"]``
+        lists exceptions a *job* raised (as opposed to the
+        infrastructure failing around it)."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        blamed = {"jobs": {}, "errors": []}
+        broken = False
+        not_done = set(futures)
+        while not_done:
+            self._check_interrupt()
+            done, not_done = wait(
+                not_done, timeout=_POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            for fut in done:
+                chunk, _deadline = futures[fut]
+                try:
+                    rows = fut.result()
+                except BrokenProcessPool:
+                    # A worker died mid-task.  Blame the chunk's
+                    # unfinished jobs; everything already settled stays.
+                    broken = True
+                    for i in chunk:
+                        blamed["jobs"].setdefault(
+                            i, "worker process died (crash or kill)"
+                        )
+                    continue
+                except Exception as exc:
+                    broken = True
+                    for i in chunk:
+                        blamed["jobs"].setdefault(
+                            i, "pool task failed: {}".format(_clip(str(exc)))
+                        )
+                    continue
+                for i, (status, payload, seconds) in zip(chunk, rows):
+                    if status == "ok":
+                        settle(i, payload, seconds)
+                    else:
+                        blamed["errors"].append(payload)
+            if broken:
+                # Once the pool is broken every remaining future resolves
+                # broken too; keep draining so they are all accounted.
+                continue
+            timed_out = [
+                fut for fut in not_done  # repro-san: ignore[DET003] -- supervision-only scan: every lapsed future is blamed identically, so set order cannot reach results
+                if futures[fut][1] is not None
+                and time.monotonic() > futures[fut][1]  # repro-san: ignore[DET001] -- watchdog deadline check for supervision only; never enters results
+            ]
+            if timed_out:
+                # A hung worker cannot be interrupted individually; the
+                # whole pool is recycled.  Blame only the jobs whose own
+                # deadline lapsed — in-flight innocents just re-run.
+                self.stats["timeouts"] += len(timed_out)
+                for fut in timed_out:
+                    for i in futures[fut][0]:
+                        blamed["jobs"][i] = (
+                            "hung past the {:g}s watchdog".format(
+                                self.job_timeout
+                            )
+                        )
+                broken = True
+                break
+        return blamed, broken
+
+    def _quarantine(self, job, attempts, reason, settle, index):
+        record = Quarantined(job=job, reason=reason, attempts=attempts)
+        self.quarantined.append(record)
+        self.stats["quarantined"] += 1
+        self.telemetry.count("runner.quarantined", 1)
+        warnings.warn(
+            "quarantined {}".format(record.describe()),
+            RuntimeWarning,
+            stacklevel=6,
+        )
+        settle(index, record, 0.0)
 
     def close(self):
-        """Terminate the persistent worker pool (if any).  The runner
-        stays usable — the next parallel batch starts a fresh pool."""
+        """Terminate the persistent worker pool (if any), killing hung
+        workers.  The runner stays usable — the next parallel batch
+        starts a fresh pool."""
         pool = self._pool
         self._pool = None
         self._pool_workers = 0
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            # shutdown() never kills a stuck worker; the watchdog needs
+            # them gone before the retry round.
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
 
     def __enter__(self):
         return self
@@ -328,9 +713,11 @@ class ParallelRunner:
 
     def summary_line(self):
         """One-line telemetry footer for sweep CLIs: jobs run, cache
-        hit/miss split, total and slowest per-job wall time, and — when
-        a pool ran — parallel wall vs estimated serial cost, so a sweep
-        that parallelized into a *slowdown* can never report quietly."""
+        hit/miss split, checkpoint traffic, total and slowest per-job
+        wall time, retry/quarantine counts (with culprits named), and —
+        when a pool ran — parallel wall vs estimated serial cost, so a
+        sweep that parallelized into a *slowdown* can never report
+        quietly."""
         series = self.telemetry.series.get("runner.job_seconds")
         samples = series.samples if series is not None else []
         total = sum(v for _i, v in samples)
@@ -340,23 +727,37 @@ class ParallelRunner:
             cache_part = "{} cache hits, {} misses".format(
                 self.stats["cache_hits"], self.stats["cache_misses"]
             )
+        parts = [
+            "{} jobs simulated in {:.1f}s wall (slowest {:.1f}s)".format(
+                self.stats["jobs_run"], total, slowest
+            ),
+            cache_part,
+            "jobs={}".format(self.jobs),
+        ]
+        if self.checkpoint is not None:
+            parts.append("checkpoint {} hits, {} appends".format(
+                self.stats["checkpoint_hits"], self.checkpoint.appends
+            ))
+        if self.stats["retries"]:
+            parts.append("{} retries".format(self.stats["retries"]))
         speedup = self.parallel_speedup()
-        speedup_part = ""
         if speedup is not None:
-            speedup_part = (
-                ", parallel {:.1f}s vs {:.1f}s serial-est "
-                "({:.2f}x{})".format(
+            parts.append(
+                "parallel {:.1f}s vs {:.1f}s serial-est ({:.2f}x{})".format(
                     self._parallel_wall, total, speedup,
                     "" if speedup >= 1.0 else " — SLOWER than serial",
                 )
             )
-        return (
-            "[runner: {} jobs simulated in {:.1f}s wall "
-            "(slowest {:.1f}s), {}, jobs={}{}]".format(
-                self.stats["jobs_run"], total, slowest, cache_part,
-                self.jobs, speedup_part,
+        if self.quarantined:
+            named = "; ".join(
+                q.describe() for q in self.quarantined[:3]
             )
-        )
+            if len(self.quarantined) > 3:
+                named += "; ..."
+            parts.append("QUARANTINED {}: {}".format(
+                len(self.quarantined), named
+            ))
+        return "[runner: {}]".format(", ".join(parts))
 
     def __repr__(self):
         return "ParallelRunner(jobs={}, cache={!r})".format(

@@ -245,6 +245,73 @@ class TestRunnerMachinery:
         with pytest.raises(ValueError):
             resolve_jobs(None)
 
+    def test_resolve_jobs_edge_cases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs(None) >= 1
+        # Blank env is the same as unset: serial default.
+        monkeypatch.setenv("REPRO_JOBS", "   ")
+        assert resolve_jobs(None) == 1
+        # Negative values (env or argument) mean "all cores", never 0.
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        assert resolve_jobs(None) >= 1
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(-3) >= 1
+        # An explicit argument beats the environment.
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(2) == 2
+        with pytest.raises(ValueError):
+            monkeypatch.setenv("REPRO_JOBS", "2.5")
+            resolve_jobs(None)
+
+    def test_chunk_boundaries(self):
+        runner = ParallelRunner(jobs=2, chunksize=10)
+        # chunksize beyond the batch: everything lands in one chunk.
+        assert runner._chunk([0, 1, 2, 3], 2, singleton=False) == [[0, 1, 2, 3]]
+        # Singleton (watchdog/retry) rounds ignore chunksize entirely.
+        assert runner._chunk([3, 5], 2, singleton=True) == [[3], [5]]
+        # Default chunking covers every index exactly once, in order.
+        default = ParallelRunner(jobs=2)
+        chunks = default._chunk(list(range(17)), 2, singleton=False)
+        assert [i for chunk in chunks for i in chunk] == list(range(17))
+        assert all(chunk for chunk in chunks)
+
+    def test_single_job_batch_stays_in_process(self):
+        # One job cannot be parallelised; no pool should ever start.
+        runner = ParallelRunner(jobs=4)
+        job = SimJob(machine=_machine(), config=shinjuku(5.0),
+                     workload=bimodal_50_1_50_100(), load_rps=2e5,
+                     num_requests=100, seed=1)
+        result = runner.map([job])
+        assert result[0].completed > 0
+        assert runner.stats["parallel_batches"] == 0
+        assert runner.stats["pool_starts"] == 0
+        assert runner.stats["serial_batches"] == 1
+
+    def test_pickle_probe_is_lazy_and_caps_detail(self, monkeypatch):
+        # The probe stops at the first unpicklable job instead of
+        # pickling the whole batch, and clips huge exception text.
+        probes = []
+        real_dumps = pickle.dumps
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("boom " + "x" * 5000)
+
+        def counting_dumps(obj, *args, **kwargs):
+            probes.append(obj)
+            return real_dumps(obj, *args, **kwargs)
+
+        import repro.parallel.runner as runner_mod
+        monkeypatch.setattr(runner_mod.pickle, "dumps", counting_dumps)
+        runner = ParallelRunner(jobs=2)
+        batch = [Unpicklable() for _ in range(6)]
+        with pytest.warns(RuntimeWarning) as captured:
+            assert runner._picklable(batch) is False
+        # One batch probe plus the culprit field probes — never all six.
+        assert len(probes) <= 2
+        message = str(captured[0].message)
+        assert len(message) < 600
+
     def test_unpicklable_batch_falls_back_in_process(self):
         config = RuntimeConfig(
             name="adhoc-shinjuku", quantum_us=5.0,
@@ -290,7 +357,7 @@ class TestRunnerMachinery:
     def test_pool_failure_warns_and_falls_back(self, monkeypatch):
         runner = ParallelRunner(jobs=2)
 
-        def broken_pool(batch, workers):
+        def broken_pool(batch, workers, outputs, settle):
             raise OSError("pools forbidden here")
 
         monkeypatch.setattr(runner, "_execute_pool", broken_pool)
@@ -302,6 +369,41 @@ class TestRunnerMachinery:
         assert runner.stats["fallbacks"] == 1
         assert runner.stats["serial_batches"] == 1
         assert results[0] == results[1]
+
+    def test_pool_failure_salvages_completed_results(self, monkeypatch):
+        """Satellite regression: a pool that dies mid-batch keeps the
+        chunks that finished and re-runs only the unfinished remainder."""
+        import repro.parallel.runner as runner_mod
+
+        runner = ParallelRunner(jobs=2)
+        real_run = runner_mod._run_timed
+        ran_serially = []
+
+        def counting_run(job):
+            ran_serially.append(job.load_rps)
+            return real_run(job)
+
+        def partial_pool(batch, workers, outputs, settle):
+            # Complete the first half, then fail like a broken pool.
+            for i in range(len(batch) // 2):
+                settle(i, *real_run(batch[i]))
+            raise OSError("worker pool failed mid-batch")
+
+        monkeypatch.setattr(runner, "_execute_pool", partial_pool)
+        monkeypatch.setattr(runner_mod, "_run_timed", counting_run)
+        jobs = [
+            SimJob(machine=_machine(), config=shinjuku(5.0),
+                   workload=bimodal_50_1_50_100(), load_rps=load,
+                   num_requests=200, seed=1)
+            for load in (1e5, 2e5, 3e5, 4e5)
+        ]
+        with pytest.warns(RuntimeWarning,
+                          match="2 unfinished job"):
+            results = runner.map(jobs)
+        # Only the unfinished remainder ran in-process.
+        assert ran_serially == [3e5, 4e5]
+        serial = ParallelRunner(jobs=1).map(jobs)
+        assert results == serial
 
     def test_default_runner_context(self):
         original = get_default_runner()

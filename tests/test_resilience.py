@@ -1,0 +1,399 @@
+"""Tests for the sweep-supervision layer: checkpoint/resume journals,
+per-job watchdogs and retries, quarantine, and the self-healing result
+cache.
+
+The load-bearing property throughout is the repo's usual one: resilience
+must never change results.  A resumed sweep, a sweep that lost a worker,
+a sweep whose cache was corrupted on disk — all must produce output
+bit-identical to an undisturbed serial run, and the kill/resume variants
+are exercised against *real* process deaths via ``tests/chaos_driver.py``
+rather than monkeypatched stand-ins.
+"""
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core.presets import shinjuku
+from repro.hardware import c6420
+from repro.parallel import (
+    ParallelRunner,
+    Quarantined,
+    ResultCache,
+    SimJob,
+    SweepCheckpoint,
+    checkpoint_job_key,
+)
+from repro.parallel.checkpoint import CHECKPOINT_MAGIC
+from repro.workloads.named import bimodal_50_1_50_100
+
+DRIVER = Path(__file__).resolve().parent / "chaos_driver.py"
+
+
+def _sim_job(load=2e5, requests=200):
+    return SimJob(machine=c6420(2), config=shinjuku(5.0),
+                  workload=bimodal_50_1_50_100(), load_rps=load,
+                  num_requests=requests, seed=1)
+
+
+@dataclass(frozen=True)
+class HangJob:
+    """Sleeps far past any watchdog; simulates a livelocked simulation."""
+
+    seconds: float = 30.0
+
+    def run(self):
+        time.sleep(self.seconds)
+        return "hung job finished (watchdog failed)"
+
+
+@dataclass(frozen=True)
+class ErrorJob:
+    """Raises; simulates a job whose parameters are invalid."""
+
+    def run(self):
+        raise ValueError("bad sweep parameters")
+
+
+@dataclass(frozen=True)
+class QuickJob:
+    token: int
+
+    def run(self):
+        return ("ok", self.token)
+
+
+# -- checkpoint journal -------------------------------------------------------
+
+
+class TestCheckpointJournal:
+    def test_roundtrip_and_resume(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with SweepCheckpoint(path, fingerprint="v1") as ckpt:
+            ckpt.record("a", {"x": 1})
+            ckpt.record("b", [1.5, "two"])
+            assert ckpt.appends == 2
+            assert ckpt.get("a") == (True, {"x": 1})
+            assert ckpt.get("missing") == (False, None)
+        resumed = SweepCheckpoint(path, fingerprint="v1")
+        assert resumed.loaded == 2
+        assert resumed.get("b") == (True, [1.5, "two"])
+        assert "b" in resumed and len(resumed) == 2
+        resumed.close()
+
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with SweepCheckpoint(path, fingerprint="v1") as ckpt:
+            ckpt.record("a", 1)
+            ckpt.record("b", 2)
+        # A SIGKILL mid-append leaves a partial frame at the tail.
+        with open(path, "ab") as f:
+            f.write(b"\x07torn")
+        size_with_tail = path.stat().st_size
+        resumed = SweepCheckpoint(path, fingerprint="v1")
+        assert resumed.loaded == 2
+        assert resumed.dropped == 1
+        # The torn bytes are gone; appends continue on a frame boundary.
+        resumed.record("c", 3)
+        resumed.close()
+        assert path.stat().st_size < size_with_tail + 50
+        final = SweepCheckpoint(path, fingerprint="v1")
+        assert final.loaded == 3 and final.dropped == 0
+        final.close()
+
+    def test_corrupt_record_drops_it_and_the_tail(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with SweepCheckpoint(path, fingerprint="v1") as ckpt:
+            ckpt.record("a", 1)
+            ckpt.record("b", 2)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte in the last record
+        path.write_bytes(bytes(blob))
+        resumed = SweepCheckpoint(path, fingerprint="v1")
+        assert resumed.loaded == 1
+        assert resumed.dropped == 1
+        assert resumed.get("a") == (True, 1)
+        assert resumed.get("b") == (False, None)
+        resumed.close()
+
+    def test_stale_fingerprint_starts_fresh_with_warning(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with SweepCheckpoint(path, fingerprint="old-code") as ckpt:
+            ckpt.record("a", 1)
+        with pytest.warns(RuntimeWarning, match="different code version"):
+            resumed = SweepCheckpoint(path, fingerprint="new-code")
+        assert resumed.stale
+        assert len(resumed) == 0
+        resumed.record("a", 99)
+        resumed.close()
+        fresh = SweepCheckpoint(path, fingerprint="new-code")
+        assert fresh.get("a") == (True, 99)
+        fresh.close()
+
+    def test_foreign_file_is_refused(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_bytes(b"not a checkpoint at all, much longer than magic")
+        with pytest.raises(ValueError, match="bad magic"):
+            SweepCheckpoint(path, fingerprint="v1")
+        # resume=False means "discard the old journal", not "clobber
+        # arbitrary files" — a foreign file is refused there too.
+        with pytest.raises(ValueError, match="bad magic"):
+            SweepCheckpoint(path, fingerprint="v1", resume=False)
+        # Refusal means untouched: the file must not be clobbered.
+        assert path.read_bytes().startswith(b"not a checkpoint")
+
+    def test_resume_false_overwrites(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with SweepCheckpoint(path, fingerprint="v1") as ckpt:
+            ckpt.record("a", 1)
+        fresh = SweepCheckpoint(path, fingerprint="v1", resume=False)
+        assert fresh.loaded == 0
+        assert fresh.get("a") == (False, None)
+        fresh.close()
+
+    def test_unpicklable_result_is_skipped_not_fatal(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt", fingerprint="v1")
+        with pytest.warns(RuntimeWarning, match="could not journal"):
+            assert ckpt.record("a", lambda: None) is False
+        assert ckpt.skipped == 1
+        assert ckpt.record("b", 2) is True
+        ckpt.close()
+
+    def test_magic_prefix(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        SweepCheckpoint(path, fingerprint="v1").close()
+        assert path.read_bytes().startswith(CHECKPOINT_MAGIC)
+
+    def test_job_keys_content_addressed_with_positional_fallback(self):
+        job = _sim_job()
+        assert checkpoint_job_key(job, 0) == checkpoint_job_key(job, 17)
+        assert checkpoint_job_key(_sim_job(load=3e5), 0) != (
+            checkpoint_job_key(job, 0)
+        )
+
+        @dataclass(frozen=True)
+        class Opaque:
+            factory: object
+
+        opaque = Opaque(factory=lambda: None)
+        assert checkpoint_job_key(opaque, 5) == "pos:00000005"
+
+
+# -- self-healing result cache ------------------------------------------------
+
+
+class TestCacheSelfHeal:
+    def test_corrupt_entry_is_deleted_counted_and_warned_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _sim_job()
+        key = cache.key_for(job)
+        cache.put(key, {"p": 1})
+        path = cache._path(key)
+        path.write_bytes(b"\x80\x04 definitely not a pickle")
+
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            hit, value = cache.get(key)
+        assert (hit, value) == (False, None)
+        assert cache.corrupt == 1
+        assert not path.exists()  # poison file removed
+
+        # Second corruption: still a silent counted miss, no second warn.
+        cache.put(key, {"p": 1})
+        path.write_bytes(b"")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(key) == (False, None)
+        assert cache.corrupt == 2
+
+        # Healed: the next put/get cycle behaves normally.
+        cache.put(key, {"p": 2})
+        assert cache.get(key) == (True, {"p": 2})
+
+    def test_sweep_survives_corrupted_cache(self, tmp_path):
+        job = _sim_job(requests=150)
+        cache = ResultCache(tmp_path)
+        first = ParallelRunner(jobs=1, cache=cache).map([job])
+        key = cache.key_for(job)
+        cache._path(key).write_bytes(b"garbage")
+        cache2 = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            second = ParallelRunner(jobs=1, cache=cache2).map([job])
+        assert second == first
+        assert cache2.corrupt == 1
+
+
+# -- watchdog, retries, quarantine -------------------------------------------
+
+
+class TestWatchdogAndQuarantine:
+    def test_hung_job_is_quarantined_while_others_complete(self):
+        runner = ParallelRunner(jobs=2, job_timeout=0.4, max_retries=1)
+        batch = [QuickJob(1), HangJob(), QuickJob(2), QuickJob(3)]
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            results = runner.map(batch)
+        assert results[0] == ("ok", 1)
+        assert results[2] == ("ok", 2)
+        assert results[3] == ("ok", 3)
+        quarantined = results[1]
+        assert isinstance(quarantined, Quarantined)
+        assert "watchdog" in quarantined.reason
+        assert quarantined.attempts == 2  # first run + one retry
+        assert runner.stats["timeouts"] >= 2
+        assert runner.stats["quarantined"] == 1
+        footer = runner.summary_line()
+        assert "QUARANTINED 1" in footer
+        assert "HangJob" in footer
+        runner.close()
+
+    def test_job_error_propagates_after_checkpointing_survivors(
+            self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt", fingerprint=None)
+        runner = ParallelRunner(jobs=2, checkpoint=ckpt)
+        batch = [QuickJob(1), QuickJob(2), ErrorJob(), QuickJob(3)]
+        with pytest.raises(ValueError, match="bad sweep parameters"):
+            runner.map(batch)
+        # Every job that finished before the error surfaced was journaled.
+        assert ckpt.appends == 3
+        runner.close()
+        ckpt.close()
+
+    def test_retry_counters_reach_the_footer(self):
+        runner = ParallelRunner(jobs=2, job_timeout=0.4, max_retries=0)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            runner.map([QuickJob(1), HangJob()])
+        footer = runner.summary_line()
+        assert "jobs simulated" in footer  # base format intact
+        assert "QUARANTINED" in footer
+        runner.close()
+
+
+# -- kill-then-resume differentials (real process deaths) ---------------------
+
+
+def _drive(tmp_path, *extra, check=True, timeout=240):
+    cmd = [sys.executable, str(DRIVER)] + [str(a) for a in extra]
+    proc = subprocess.run(
+        cmd, cwd=str(tmp_path), capture_output=True, text=True,
+        timeout=timeout,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            "driver failed rc={}\nstdout: {}\nstderr: {}".format(
+                proc.returncode, proc.stdout, proc.stderr)
+        )
+    return proc
+
+
+def _digest(tmp_path, name):
+    return json.loads((tmp_path / name).read_text())
+
+
+class TestKillResumeDifferential:
+    def test_sigint_resume_is_bit_identical_sim(self, tmp_path):
+        ref = _drive(tmp_path, "--checkpoint", "ref.ckpt",
+                     "--digest-out", "ref.json", "--requests", 600)
+        assert "OK digest=" in ref.stdout
+
+        killed = _drive(
+            tmp_path, "--checkpoint", "run.ckpt", "--digest-out", "run.json",
+            "--requests", 600, "--interrupt-after-appends", 2, check=False,
+        )
+        assert killed.returncode == 130, killed.stdout + killed.stderr
+        assert "INTERRUPTED" in killed.stdout
+        assert not (tmp_path / "run.json").exists()
+
+        resumed = _drive(tmp_path, "--checkpoint", "run.ckpt", "--resume",
+                         "--digest-out", "run.json", "--requests", 600)
+        assert "OK digest=" in resumed.stdout
+        ref_d, run_d = _digest(tmp_path, "ref.json"), _digest(
+            tmp_path, "run.json")
+        assert run_d["digest"] == ref_d["digest"]
+        assert run_d["checkpoint_hits"] >= 2
+        assert run_d["jobs_run"] < ref_d["jobs_run"]
+        assert "checkpoint" in run_d["footer"]
+
+    def test_sigkill_resume_is_bit_identical_faults(self, tmp_path):
+        """The cluster-with-faults sweep, run under a full ambient trace
+        session, survives a hard SIGKILL: the journal's torn tail (if
+        any) is dropped and the resumed (still traced) run's degradation
+        rows are bit-identical to an undisturbed *untraced* run —
+        supervision and tracing both leave results untouched."""
+        _drive(tmp_path, "--mode", "faults", "--checkpoint", "ref.ckpt",
+               "--digest-out", "ref.json", "--requests", 2500)
+
+        proc = subprocess.Popen(
+            [sys.executable, str(DRIVER), "--mode", "faults", "--traced",
+             "--checkpoint", "run.ckpt", "--digest-out", "run.json",
+             "--requests", "2500"],
+            cwd=str(tmp_path), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        ckpt_path = tmp_path / "run.ckpt"
+        deadline = time.monotonic() + 120
+        try:
+            # Wait for at least one journaled result, then kill -9.
+            while time.monotonic() < deadline:
+                if ckpt_path.exists() and ckpt_path.stat().st_size > 300:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("driver never journaled a result")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        resumed = _drive(tmp_path, "--mode", "faults", "--traced",
+                         "--checkpoint", "run.ckpt", "--resume",
+                         "--digest-out", "run.json", "--requests", 2500)
+        assert "OK digest=" in resumed.stdout
+        ref_d, run_d = _digest(tmp_path, "ref.json"), _digest(
+            tmp_path, "run.json")
+        assert run_d["digest"] == ref_d["digest"]
+
+    def test_worker_crash_retried_bit_identical(self, tmp_path):
+        """A worker that dies mid-job (os._exit — what a segfault looks
+        like) is retried without disturbing finished results; the sweep's
+        digest matches an undisturbed run exactly."""
+        _drive(tmp_path, "--checkpoint", "ref.ckpt",
+               "--digest-out", "ref.json", "--requests", 600)
+        crashed = _drive(
+            tmp_path, "--checkpoint", "run.ckpt", "--digest-out", "run.json",
+            "--requests", 600, "--crash-at", 3,
+            "--crash-marker", str(tmp_path / "crashed.marker"),
+        )
+        assert "OK digest=" in crashed.stdout
+        assert (tmp_path / "crashed.marker").exists()
+        ref_d, run_d = _digest(tmp_path, "ref.json"), _digest(
+            tmp_path, "run.json")
+        assert run_d["digest"] == ref_d["digest"]
+        assert run_d["retries"] >= 1
+        assert run_d["quarantined"] == 0
+
+
+# -- sanitizer stays clean ----------------------------------------------------
+
+
+class TestSanitizerCoverage:
+    def test_parallel_layer_sanitizes_clean(self):
+        """Every wall-clock call in the supervision layer is annotated
+        (timings feed the telemetry footer, never results); repro-san
+        must report zero unsuppressed findings for repro.parallel."""
+        import repro
+        from repro.analysis import discover_sources, run_rules
+
+        parallel_root = Path(repro.__file__).parent / "parallel"
+        findings = run_rules(discover_sources(parallel_root))
+        active = [f for f in findings if not f.suppressed]
+        assert active == [], "\n".join(str(f) for f in active)
