@@ -232,15 +232,21 @@ class ResultCache:
     def get(self, key):
         """``(True, value)`` on a hit, ``(False, None)`` otherwise.
 
-        An entry that exists but cannot be read back (torn write, disk
-        corruption, stale class layout) self-heals: it is deleted,
-        counted under ``corrupt``, warned about once per cache, and
-        reported as a plain miss — never an exception."""
+        An entry that exists but cannot be read back because its *content*
+        is bad (torn write, disk corruption, stale class layout)
+        self-heals: it is deleted, counted under ``corrupt``, warned
+        about once per cache, and reported as a plain miss — never an
+        exception.  A transient I/O failure (EIO, permissions, an NFS
+        hiccup) is just a miss: the entry may be perfectly valid, so it
+        is never deleted."""
         path = self._path(key)
         try:
             with open(path, "rb") as f:
                 value = pickle.load(f)
         except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except OSError:
             self.misses += 1
             return False, None
         except Exception:

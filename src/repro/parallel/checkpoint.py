@@ -104,8 +104,9 @@ class SweepCheckpoint:
 
     Counters: ``loaded`` (records recovered on open), ``appends``
     (records written by this instance), ``dropped`` (corrupt/torn
-    frames discarded on open), ``skipped`` (unpicklable results that
-    could not be journaled), plus the ``stale`` flag.
+    frames discarded on open), ``skipped`` (results that could not be
+    journaled — unpicklable, or lost to a write failure), plus the
+    ``stale`` flag.
     """
 
     def __init__(self, path, fingerprint=None, resume=True):
@@ -122,6 +123,7 @@ class SweepCheckpoint:
         self.skipped = 0
         self.stale = False
         self._warned_skip = False
+        self._warned_write = False
         self._file = None
         valid_until = 0
         if self.path.exists() and self.path.stat().st_size > 0:
@@ -247,8 +249,11 @@ class SweepCheckpoint:
 
     def record(self, key, value):
         """Journal one completed job; flushed immediately so a kill
-        right after loses nothing.  Unpicklable results are counted and
-        skipped (they simply re-run on resume), never fatal."""
+        right after loses nothing.  Journaling is never fatal:
+        unpicklable results are counted and skipped (they simply re-run
+        on resume), and a write failure (disk full, quota) warns once,
+        counts under ``skipped``, and disables journaling for the rest
+        of the sweep instead of aborting it mid-collect."""
         if self._file is None or self._file.closed:
             return False
         try:
@@ -268,8 +273,31 @@ class SweepCheckpoint:
                     stacklevel=3,
                 )
             return False
-        self._write_frame(_KIND_RESULT, payload)
-        self._file.flush()
+        try:
+            self._write_frame(_KIND_RESULT, payload)
+            self._file.flush()
+        except (OSError, ValueError) as exc:
+            # A half-written frame is fine — the CRC drops it on resume.
+            self.skipped += 1
+            if not self._warned_write:
+                self._warned_write = True
+                warnings.warn(
+                    "checkpoint {} hit a write failure ({}); journaling "
+                    "disabled for the rest of the sweep — un-journaled "
+                    "jobs will re-run on resume".format(
+                        self.path, str(exc)[:200]
+                    ),
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            try:
+                self._file.close()
+            except Exception:
+                pass
+            self._file = None
+            # Still served from memory for the rest of *this* run.
+            self.entries[key] = value
+            return False
         self.entries[key] = value
         self.appends += 1
         return True

@@ -527,11 +527,6 @@ class ParallelRunner:
             futures = {}
             submit_error = None
             for chunk in chunks:
-                deadline = None
-                if self.job_timeout is not None:
-                    deadline = time.monotonic() + (  # repro-san: ignore[DET001] -- watchdog deadline for supervision only; never enters results
-                        self.job_timeout * len(chunk)
-                    )
                 try:
                     fut = pool.submit(
                         _run_timed_batch, [batch[i] for i in chunk]
@@ -541,7 +536,7 @@ class ParallelRunner:
                     # already submitted, then report the pool unusable.
                     submit_error = exc
                     break
-                futures[fut] = (chunk, deadline)
+                futures[fut] = chunk
             if futures:
                 self.stats["parallel_batches"] += 1
             blamed, broken = self._collect(
@@ -551,9 +546,11 @@ class ParallelRunner:
             if broken or submit_error is not None:
                 self.close()
             # Errors raised *by a job* are deterministic: re-raise after
-            # the whole round settled (and was checkpointed).
+            # the whole round settled (and was checkpointed).  Raising
+            # the lowest job index keeps *which* error surfaces
+            # independent of future-completion order.
             if error is None and blamed["errors"]:
-                error = blamed["errors"][0]
+                error = blamed["errors"][min(blamed["errors"])]
             if error is not None:
                 raise error
             survivors = [i for i in pending if outputs[i] is _MISSING]
@@ -587,34 +584,54 @@ class ParallelRunner:
 
         Returns ``(blamed, broken)`` where ``blamed["jobs"]`` maps job
         index -> failure reason for this round and ``blamed["errors"]``
-        lists exceptions a *job* raised (as opposed to the
-        infrastructure failing around it)."""
+        maps job index -> the exception that *job* raised (as opposed to
+        the infrastructure failing around it)."""
         from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures.process import BrokenProcessPool
 
-        blamed = {"jobs": {}, "errors": []}
+        blamed = {"jobs": {}, "errors": {}}
         broken = False
+        pool_dead = False
+        #: fut -> monotonic lapse time, armed only once the task is
+        #: observed *running*.  Arming at submit time would charge
+        #: queue-wait against the job's own timeout: with more pending
+        #: jobs than workers, queued-but-never-started jobs would lapse,
+        #: be blamed as hung, and eventually be quarantined while
+        #: perfectly healthy.
+        deadlines = {}
         not_done = set(futures)
         while not_done:
             self._check_interrupt()
+            if self.job_timeout is not None and not pool_dead:
+                now = time.monotonic()  # repro-san: ignore[DET001] -- watchdog arming for supervision only; never enters results
+                for fut in not_done:  # repro-san: ignore[DET003] -- supervision-only scan: arming order cannot reach results
+                    if fut not in deadlines and fut.running():
+                        deadlines[fut] = now + (
+                            self.job_timeout * len(futures[fut])
+                        )
             done, not_done = wait(
                 not_done, timeout=_POLL_SECONDS,
                 return_when=FIRST_COMPLETED,
             )
             for fut in done:
-                chunk, _deadline = futures[fut]
+                chunk = futures[fut]
                 try:
                     rows = fut.result()
                 except BrokenProcessPool:
                     # A worker died mid-task.  Blame the chunk's
                     # unfinished jobs; everything already settled stays.
                     broken = True
+                    pool_dead = True
                     for i in chunk:
                         blamed["jobs"].setdefault(
                             i, "worker process died (crash or kill)"
                         )
                     continue
                 except Exception as exc:
+                    # A task-level failure (e.g. an unpicklable return
+                    # value) leaves the pool alive and its other tasks
+                    # running — recycle it conservatively at round end,
+                    # but keep the watchdog armed meanwhile.
                     broken = True
                     for i in chunk:
                         blamed["jobs"].setdefault(
@@ -625,15 +642,15 @@ class ParallelRunner:
                     if status == "ok":
                         settle(i, payload, seconds)
                     else:
-                        blamed["errors"].append(payload)
-            if broken:
-                # Once the pool is broken every remaining future resolves
+                        blamed["errors"].setdefault(i, payload)
+            if pool_dead:
+                # Once the pool is dead every remaining future resolves
                 # broken too; keep draining so they are all accounted.
                 continue
+            now = time.monotonic()  # repro-san: ignore[DET001] -- watchdog deadline check for supervision only; never enters results
             timed_out = [
                 fut for fut in not_done  # repro-san: ignore[DET003] -- supervision-only scan: every lapsed future is blamed identically, so set order cannot reach results
-                if futures[fut][1] is not None
-                and time.monotonic() > futures[fut][1]  # repro-san: ignore[DET001] -- watchdog deadline check for supervision only; never enters results
+                if fut in deadlines and now > deadlines[fut]
             ]
             if timed_out:
                 # A hung worker cannot be interrupted individually; the
@@ -641,7 +658,7 @@ class ParallelRunner:
                 # deadline lapsed — in-flight innocents just re-run.
                 self.stats["timeouts"] += len(timed_out)
                 for fut in timed_out:
-                    for i in futures[fut][0]:
+                    for i in futures[fut]:
                         blamed["jobs"][i] = (
                             "hung past the {:g}s watchdog".format(
                                 self.job_timeout

@@ -58,10 +58,17 @@ class HangJob:
 
 @dataclass(frozen=True)
 class ErrorJob:
-    """Raises; simulates a job whose parameters are invalid."""
+    """Raises; simulates a job whose parameters are invalid.  An
+    optional delay lets a test make completion order disagree with
+    submission order."""
+
+    msg: str = "bad sweep parameters"
+    delay: float = 0.0
 
     def run(self):
-        raise ValueError("bad sweep parameters")
+        if self.delay:
+            time.sleep(self.delay)
+        raise ValueError(self.msg)
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,28 @@ class QuickJob:
 
     def run(self):
         return ("ok", self.token)
+
+
+@dataclass(frozen=True)
+class SlowJob:
+    """Finishes well inside the watchdog — but queue-wait behind its
+    batch-mates can exceed it when pending jobs outnumber workers."""
+
+    token: int
+    seconds: float = 0.2
+
+    def run(self):
+        time.sleep(self.seconds)
+        return ("slow-ok", self.token)
+
+
+@dataclass(frozen=True)
+class BadReturnJob:
+    """Returns an unpicklable value: the pool task fails with a plain
+    PicklingError while the pool itself stays alive."""
+
+    def run(self):
+        return lambda: None
 
 
 # -- checkpoint journal -------------------------------------------------------
@@ -168,6 +197,37 @@ class TestCheckpointJournal:
         assert ckpt.record("b", 2) is True
         ckpt.close()
 
+    def test_write_failure_disables_journaling_not_the_sweep(
+            self, tmp_path, monkeypatch):
+        """A disk-full/quota OSError mid-append warns once, counts under
+        ``skipped``, and turns journaling off — it must never propagate
+        through record() and abort the sweep (the 'journaling is never
+        fatal' contract)."""
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt", fingerprint="v1")
+        assert ckpt.record("a", 1) is True
+
+        def full_disk(kind, payload):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(ckpt, "_write_frame", full_disk)
+        with pytest.warns(RuntimeWarning, match="write failure"):
+            assert ckpt.record("b", 2) is False
+        assert ckpt.skipped == 1
+        # Journaling is off; later records are silent no-ops, and the
+        # settled value is still served from memory for this run.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ckpt.record("c", 3) is False
+        assert ckpt.get("b") == (True, 2)
+        ckpt.flush()  # flush/close on a disabled journal stay no-ops
+        ckpt.close()
+        # On resume only the records that hit the disk come back.
+        resumed = SweepCheckpoint(tmp_path / "sweep.ckpt", fingerprint="v1")
+        assert resumed.loaded == 1
+        assert resumed.get("a") == (True, 1)
+        assert resumed.get("b") == (False, None)
+        resumed.close()
+
     def test_magic_prefix(self, tmp_path):
         path = tmp_path / "sweep.ckpt"
         SweepCheckpoint(path, fingerprint="v1").close()
@@ -217,6 +277,23 @@ class TestCacheSelfHeal:
         # Healed: the next put/get cycle behaves normally.
         cache.put(key, {"p": 2})
         assert cache.get(key) == (True, {"p": 2})
+
+    def test_transient_io_failure_is_a_miss_not_a_deletion(self, tmp_path):
+        """Only corruption-shaped read failures self-heal by deleting;
+        a transient OSError (EIO, permissions, an NFS hiccup — here an
+        IsADirectoryError) is a plain miss that must leave a possibly-
+        valid entry untouched."""
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_sim_job())
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.mkdir()  # open(path, "rb") now raises an OSError subclass
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no corruption warning either
+            assert cache.get(key) == (False, None)
+        assert cache.misses == 1
+        assert cache.corrupt == 0
+        assert path.exists()  # never deleted on a transient failure
 
     def test_sweep_survives_corrupted_cache(self, tmp_path):
         job = _sim_job(requests=150)
@@ -273,6 +350,50 @@ class TestWatchdogAndQuarantine:
         footer = runner.summary_line()
         assert "jobs simulated" in footer  # base format intact
         assert "QUARANTINED" in footer
+        runner.close()
+
+    def test_queue_wait_does_not_count_against_the_watchdog(self):
+        """The deadline arms when a task starts *running*, not when it
+        is submitted: 30 healthy 0.2s jobs on 2 workers queue far past a
+        2s timeout, and none may be blamed as hung (regression: submit-
+        time deadlines quarantined healthy queued jobs)."""
+        runner = ParallelRunner(jobs=2, job_timeout=2.0, max_retries=1)
+        batch = [SlowJob(i) for i in range(30)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any quarantine warning fails
+            results = runner.map(batch)
+        assert results == [("slow-ok", i) for i in range(30)]
+        assert runner.stats["timeouts"] == 0
+        assert runner.stats["quarantined"] == 0
+        assert runner.stats["retries"] == 0
+        runner.close()
+
+    def test_watchdog_stays_armed_after_pool_alive_task_failure(self):
+        """A generic task failure (unpicklable return value) leaves the
+        pool alive; a genuinely hung job in the same round must still
+        trip the watchdog (regression: the broken flag disabled the
+        deadline scan and the collect loop spun forever)."""
+        runner = ParallelRunner(jobs=2, job_timeout=0.5, max_retries=0)
+        batch = [BadReturnJob(), HangJob(), QuickJob(7)]
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            results = runner.map(batch)
+        assert results[2] == ("ok", 7)
+        assert isinstance(results[0], Quarantined)
+        assert "pool task failed" in results[0].reason
+        assert isinstance(results[1], Quarantined)
+        assert "watchdog" in results[1].reason
+        assert runner.stats["timeouts"] >= 1
+        runner.close()
+
+    def test_lowest_index_error_is_raised_regardless_of_finish_order(self):
+        """When several jobs raise in one round, map() re-raises the
+        lowest job index's error even when a later job's error lands
+        first — error identity must be deterministic run to run."""
+        runner = ParallelRunner(jobs=2)
+        batch = [ErrorJob(msg="error-at-0", delay=0.3),
+                 ErrorJob(msg="error-at-1")]
+        with pytest.raises(ValueError, match="error-at-0"):
+            runner.map(batch)
         runner.close()
 
 
